@@ -1,0 +1,251 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// DESIGN.md §3 for the experiment index). Each benchmark runs a scaled-down
+// instance of the corresponding experiment per iteration and reports the
+// headline quantity via b.ReportMetric; the cmd/ binaries run the
+// full-scale versions.
+package ptguard
+
+import (
+	"testing"
+
+	"ptguard/internal/attack"
+	"ptguard/internal/core"
+	"ptguard/internal/mac"
+	"ptguard/internal/ostable"
+	"ptguard/internal/pte"
+	"ptguard/internal/sim"
+	"ptguard/internal/stats"
+	"ptguard/internal/workload"
+)
+
+// BenchmarkTableIVProtectedBitMap covers Tables I/IV: deriving the x86_64
+// protected-bit map and packing a PTE line.
+func BenchmarkTableIVProtectedBitMap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := pte.FormatX86(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.MACBitsPerLine() != 96 {
+			b.Fatal("wrong MAC capacity")
+		}
+	}
+}
+
+// BenchmarkFig6Slowdown regenerates a Fig. 6 point: the worst-case workload
+// (xalancbmk) compared against the unprotected baseline.
+func BenchmarkFig6Slowdown(b *testing.B) {
+	prof, err := workload.ProfileByName("xalancbmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last sim.Comparison
+	for i := 0; i < b.N; i++ {
+		last, err = sim.Compare(prof, 60_000, 120_000, uint64(i), 10, []sim.Mode{sim.PTGuard})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.SlowdownPct[sim.PTGuard], "slowdown-%")
+	b.ReportMetric(last.LLCMPKI, "llc-mpki")
+}
+
+// BenchmarkFig6SlowdownOptimized is the Optimized PT-Guard series of Fig. 6.
+func BenchmarkFig6SlowdownOptimized(b *testing.B) {
+	prof, err := workload.ProfileByName("xalancbmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last sim.Comparison
+	for i := 0; i < b.N; i++ {
+		last, err = sim.Compare(prof, 60_000, 120_000, uint64(i), 10, []sim.Mode{sim.PTGuardOptimized})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.SlowdownPct[sim.PTGuardOptimized], "slowdown-%")
+}
+
+// BenchmarkFig7LatencySweep regenerates Fig. 7's end points: slowdown at 5
+// and 20 MAC cycles on a memory-intensive workload.
+func BenchmarkFig7LatencySweep(b *testing.B) {
+	prof, err := workload.ProfileByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s5, s20 float64
+	for i := 0; i < b.N; i++ {
+		c5, cerr := sim.Compare(prof, 60_000, 120_000, uint64(i), 5, []sim.Mode{sim.PTGuard})
+		if cerr != nil {
+			b.Fatal(cerr)
+		}
+		c20, cerr := sim.Compare(prof, 60_000, 120_000, uint64(i), 20, []sim.Mode{sim.PTGuard})
+		if cerr != nil {
+			b.Fatal(cerr)
+		}
+		s5, s20 = c5.SlowdownPct[sim.PTGuard], c20.SlowdownPct[sim.PTGuard]
+	}
+	b.ReportMetric(s5, "slowdown-5cyc-%")
+	b.ReportMetric(s20, "slowdown-20cyc-%")
+}
+
+// BenchmarkFig8Profile regenerates Fig. 8: synthesising and classifying a
+// slice of the process population.
+func BenchmarkFig8Profile(b *testing.B) {
+	var zero, contig float64
+	for i := 0; i < b.N; i++ {
+		alloc, err := ostable.NewFrameAllocator(0x1000, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ostable.DefaultSynthConfig()
+		cfg.Seed = uint64(i) + 1
+		pop, err := ostable.NewPopulation(cfg, alloc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perProc, err := ostable.RunPopulation(pop, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err := ostable.Summarize(perProc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zero, contig = sum.ZeroMean, sum.ContigMean
+	}
+	b.ReportMetric(zero, "zero-pte-%")
+	b.ReportMetric(contig, "contig-pfn-%")
+}
+
+// BenchmarkFig9Correction regenerates a Fig. 9 point: correction rate at
+// the LPDDR4 worst-case flip probability.
+func BenchmarkFig9Correction(b *testing.B) {
+	var last attack.CorrectionResult
+	for i := 0; i < b.N; i++ {
+		res, err := attack.RunCorrection(attack.CorrectionConfig{
+			FlipProb: 1.0 / 128,
+			Lines:    150,
+			Seed:     uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Miscorrected != 0 {
+			b.Fatal("miscorrection observed")
+		}
+		last = res
+	}
+	b.ReportMetric(last.CorrectedPct(), "corrected-%")
+	b.ReportMetric(last.CoveragePct(), "coverage-%")
+}
+
+// BenchmarkSecurityModel regenerates the §VI-E analytics (Eqs. 1 and 2).
+func BenchmarkSecurityModel(b *testing.B) {
+	var nEff float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		nEff, err = mac.EffectiveMACBits(96, 4, mac.GMaxPaper)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err = mac.UncorrectableMACProb(96, 4, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nEff, "effective-mac-bits")
+}
+
+// BenchmarkDetectionCoverage regenerates the §VI-F / §VIII comparison:
+// PT-Guard vs prior defenses on identical fault patterns.
+func BenchmarkDetectionCoverage(b *testing.B) {
+	var last attack.CoverageResult
+	for i := 0; i < b.N; i++ {
+		res, err := attack.RunCoverage(uint64(i)+1, 60, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PTGuardDetected != res.Trials {
+			b.Fatal("PT-Guard missed a fault")
+		}
+		last = res
+	}
+	b.ReportMetric(100, "ptguard-detect-%")
+	b.ReportMetric(float64(last.MonotonicUnprotected)/float64(last.Trials)*100, "monotonic-unprot-%")
+}
+
+// BenchmarkMulticore regenerates §VII-C: a 4-core SAME mix under PT-Guard.
+func BenchmarkMulticore(b *testing.B) {
+	prof, err := workload.ProfileByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix := sim.MulticoreMix{Name: "lbm-SAME", Workloads: []workload.Profile{prof, prof, prof, prof}}
+	var last sim.MulticoreResult
+	for i := 0; i < b.N; i++ {
+		last, err = sim.CompareMulticore(mix, 30_000, 60_000, uint64(i), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.SlowdownPct, "slowdown-%")
+}
+
+// BenchmarkGuardWrite measures the mechanism's write path (pattern match +
+// MAC embed), the §V-E energy discussion's unit of work.
+func BenchmarkGuardWrite(b *testing.B) {
+	g := benchGuard(b)
+	line := benchPTELine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.OnWrite(line, uint64(i)<<6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGuardWalkRead measures the verification path charged on every
+// page-table walk (the 10-cycle MAC unit's software stand-in).
+func BenchmarkGuardWalkRead(b *testing.B) {
+	g := benchGuard(b)
+	line := benchPTELine()
+	res, err := g.OnWrite(line, 0x4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rd := g.OnRead(res.Line, 0x4000, true); rd.CheckFailed {
+			b.Fatal("clean line failed")
+		}
+	}
+}
+
+func benchGuard(b *testing.B) *core.Guard {
+	b.Helper()
+	f, err := pte.FormatX86(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, mac.KeySize)
+	r := stats.NewRNG(0xBE7C)
+	for i := range key {
+		key[i] = byte(r.Uint64())
+	}
+	g, err := core.NewGuard(core.Config{Format: f, Key: key})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchPTELine() pte.Line {
+	var l pte.Line
+	for i := range l {
+		l[i] = pte.Entry(0x107).WithPFN(0xBEEF00 + uint64(i))
+	}
+	return l
+}

@@ -1,0 +1,86 @@
+// Command ptguard-latency regenerates Fig. 7: average and worst-case
+// slowdown of PT-Guard and Optimized PT-Guard as the MAC computation
+// latency sweeps from 5 to 20 cycles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptguard/internal/report"
+	"ptguard/internal/sim"
+	"ptguard/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-latency:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		warmup    = flag.Int("warmup", 150_000, "warm-up instructions per run")
+		instr     = flag.Int("instructions", 300_000, "measured instructions per run")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		latencies = flag.String("latencies", "5,10,15,20", "comma-separated MAC latencies (cycles)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	lats, err := parseInts(*latencies)
+	if err != nil {
+		return err
+	}
+	modes := []sim.Mode{sim.PTGuard, sim.PTGuardOptimized}
+	tbl := report.New("Fig. 7 — slowdown vs MAC computation latency",
+		"MAC latency", "ptguard avg", "ptguard worst", "optimized avg", "optimized worst")
+
+	for _, lat := range lats {
+		cmps := make([]sim.Comparison, 0, 25)
+		for _, prof := range workload.Profiles() {
+			cmp, cerr := sim.Compare(prof, *warmup, *instr, *seed, lat, modes)
+			if cerr != nil {
+				return cerr
+			}
+			cmps = append(cmps, cmp)
+			fmt.Fprintf(os.Stderr, ".")
+		}
+		base, serr := sim.Summarize(cmps, sim.PTGuard)
+		if serr != nil {
+			return serr
+		}
+		opt, serr := sim.Summarize(cmps, sim.PTGuardOptimized)
+		if serr != nil {
+			return serr
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d cycles", lat),
+			report.Pct(base.MeanPct), report.Pct(base.WorstPct),
+			report.Pct(opt.MeanPct), report.Pct(opt.WorstPct),
+		)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	if *csv {
+		return tbl.RenderCSV(os.Stdout)
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid latency %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+// Command ptguard-slowdown regenerates Fig. 6: per-workload normalized IPC
+// (slowdown) under PT-Guard and Optimized PT-Guard, next to each workload's
+// LLC MPKI, over the 25 SPEC-2017 and GAP benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ptguard/internal/report"
+	"ptguard/internal/sim"
+	"ptguard/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-slowdown:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		warmup     = flag.Int("warmup", 200_000, "warm-up instructions per run")
+		instr      = flag.Int("instructions", 400_000, "measured instructions per run")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		macLatency = flag.Int("mac-latency", 10, "MAC computation latency in cycles")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		optimized  = flag.Bool("optimized", true, "also run Optimized PT-Guard")
+	)
+	flag.Parse()
+
+	modes := []sim.Mode{sim.PTGuard}
+	if *optimized {
+		modes = append(modes, sim.PTGuardOptimized)
+	}
+	headers := []string{"workload", "suite", "LLC MPKI", "ptguard slowdown"}
+	if *optimized {
+		headers = append(headers, "optimized slowdown")
+	}
+	tbl := report.New("Fig. 6 — PT-Guard slowdown vs unprotected baseline", headers...)
+
+	cmps := make([]sim.Comparison, 0, 25)
+	for _, prof := range workload.Profiles() {
+		cmp, err := sim.Compare(prof, *warmup, *instr, *seed, *macLatency, modes)
+		if err != nil {
+			return err
+		}
+		cmps = append(cmps, cmp)
+		row := []string{
+			prof.Name, prof.Suite,
+			report.F(cmp.LLCMPKI, 1),
+			report.Pct(cmp.SlowdownPct[sim.PTGuard]),
+		}
+		if *optimized {
+			row = append(row, report.Pct(cmp.SlowdownPct[sim.PTGuardOptimized]))
+		}
+		tbl.AddRow(row...)
+		fmt.Fprintf(os.Stderr, ".")
+	}
+	fmt.Fprintln(os.Stderr)
+
+	sums := make(map[sim.Mode]sim.SuiteSummary, len(modes))
+	for _, mode := range modes {
+		sum, err := sim.Summarize(cmps, mode)
+		if err != nil {
+			return err
+		}
+		sums[mode] = sum
+	}
+	amean := []string{"AMEAN", "", "", report.Pct(sums[sim.PTGuard].MeanPct)}
+	gmean := []string{"GMEAN IPC", "", "", report.F(sums[sim.PTGuard].GeoMeanIPC, 4)}
+	worst := []string{"WORST", "", sums[sim.PTGuard].WorstName, report.Pct(sums[sim.PTGuard].WorstPct)}
+	if *optimized {
+		amean = append(amean, report.Pct(sums[sim.PTGuardOptimized].MeanPct))
+		gmean = append(gmean, report.F(sums[sim.PTGuardOptimized].GeoMeanIPC, 4))
+		worst = append(worst, report.Pct(sums[sim.PTGuardOptimized].WorstPct))
+	}
+	tbl.AddRow(amean...)
+	tbl.AddRow(gmean...)
+	tbl.AddRow(worst...)
+
+	if *csv {
+		return tbl.RenderCSV(os.Stdout)
+	}
+	return tbl.Render(os.Stdout)
+}

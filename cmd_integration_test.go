@@ -1,0 +1,107 @@
+// End-to-end CLI test: builds every cmd/ binary once and runs it with
+// minimal parameters, verifying exit status and that the headline table
+// appears. Skipped under -short (it compiles ten binaries).
+package ptguard
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all ten binaries; run without -short")
+	}
+	binDir := t.TempDir()
+	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+
+	tests := []struct {
+		bin  string
+		args []string
+		want []string
+	}{
+		{
+			bin:  "ptguard-report",
+			args: []string{"-table=storage"},
+			want: []string{"52", "71", "12.5%"},
+		},
+		{
+			bin:  "ptguard-security",
+			args: nil,
+			want: []string{"Eq. 1", "Eq. 2", "65.7"},
+		},
+		{
+			bin:  "ptguard-profile",
+			args: []string{"-processes", "8"},
+			want: []string{"zero PFNs", "contiguous PFNs", "flag-uniform"},
+		},
+		{
+			bin:  "ptguard-correct",
+			args: []string{"-lines", "40", "-probs", "1/512"},
+			want: []string{"corrected %", "100.00%"},
+		},
+		{
+			bin:  "ptguard-attack",
+			args: nil,
+			want: []string{"privilege escalation", "PTECheckFailed", "re-key"},
+		},
+		{
+			bin:  "ptguard-attack",
+			args: []string{"-compare", "-trials", "40"},
+			want: []string{"pt-guard", "100.00%"},
+		},
+		{
+			bin:  "ptguard-slowdown",
+			args: []string{"-warmup", "2000", "-instructions", "4000", "-optimized=false"},
+			want: []string{"xalancbmk", "AMEAN", "WORST"},
+		},
+		{
+			bin:  "ptguard-latency",
+			args: []string{"-warmup", "2000", "-instructions", "4000", "-latencies", "10"},
+			want: []string{"10 cycles"},
+		},
+		{
+			bin:  "ptguard-multicore",
+			args: []string{"-warmup", "1000", "-instructions", "2000", "-same", "1", "-mix", "1"},
+			want: []string{"AVERAGE", "WORST"},
+		},
+		{
+			bin:  "ptguard-trace",
+			args: []string{"-instructions", "30000", "-trials", "30"},
+			want: []string{"trace lines", "coverage %"},
+		},
+		{
+			bin:  "ptguard-ablation",
+			args: []string{"-lines", "30"},
+			want: []string{"zero-PTE reset", "Soft-match budget", "MAC width"},
+		},
+	}
+	for _, tt := range tests {
+		name := tt.bin + strings.Join(tt.args, "_")
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(filepath.Join(binDir, tt.bin), tt.args...)
+			out, err := cmd.Output()
+			if err != nil {
+				t.Fatalf("%s %v: %v", tt.bin, tt.args, err)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", tt.bin, want, out)
+				}
+			}
+		})
+	}
+
+	// Flag validation: a bad flag must exit non-zero.
+	cmd := exec.Command(filepath.Join(binDir, "ptguard-report"), "-table=nonsense")
+	if err := cmd.Run(); err == nil {
+		t.Error("ptguard-report accepted an unknown table")
+	}
+}

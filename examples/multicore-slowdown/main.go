@@ -1,0 +1,69 @@
+// Multicore demo: a small §VII-C study — PT-Guard's overhead on one
+// workload, single-core in-order versus a 4-core out-of-order system with a
+// contended memory channel, plus the MAC-latency sensitivity of Fig. 7.
+//
+//	go run ./examples/multicore-slowdown [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ptguard"
+	"ptguard/internal/sim"
+	"ptguard/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	name := "lbm"
+	if len(args) > 0 {
+		name = args[0]
+	}
+	prof, err := workload.ProfileByName(name)
+	if err != nil {
+		return err
+	}
+	const (
+		warmup = 150_000
+		instr  = 300_000
+		seed   = 99
+	)
+
+	fmt.Printf("workload %s (target LLC MPKI %.1f)\n\n", prof.Name, prof.TargetMPKI)
+
+	single, err := ptguard.CompareWorkload(name, warmup, instr, seed, 10, ptguard.ModePTGuard)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single core, in-order:       slowdown %.2f%% (measured MPKI %.1f)\n",
+		single.SlowdownPct[ptguard.ModePTGuard], single.LLCMPKI)
+
+	mix := sim.MulticoreMix{
+		Name:      name + "-SAME",
+		Workloads: []workload.Profile{prof, prof, prof, prof},
+	}
+	multi, err := sim.CompareMulticore(mix, warmup/2, instr/4, seed, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4 cores, O3 + contention:    slowdown %.2f%%\n\n", multi.SlowdownPct)
+
+	fmt.Println("MAC latency sensitivity (Fig. 7 slice):")
+	for _, lat := range []int{5, 10, 15, 20} {
+		cmp, cerr := ptguard.CompareWorkload(name, warmup, instr, seed, lat,
+			ptguard.ModePTGuard, ptguard.ModePTGuardOptimized)
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("  %2d cycles: pt-guard %.2f%%   optimized %.2f%%\n",
+			lat, cmp.SlowdownPct[ptguard.ModePTGuard], cmp.SlowdownPct[ptguard.ModePTGuardOptimized])
+	}
+	return nil
+}

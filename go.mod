@@ -1,0 +1,3 @@
+module ptguard
+
+go 1.22

@@ -1,0 +1,139 @@
+package attack
+
+import (
+	"errors"
+
+	"ptguard/internal/baseline"
+	"ptguard/internal/pte"
+	"ptguard/internal/stats"
+)
+
+// CoverageResult reports each defense's behaviour over the same set of
+// injected fault patterns (the §II-E / §VIII comparison).
+type CoverageResult struct {
+	Trials int
+	// PTGuardDetected counts faults PT-Guard caught (it must equal
+	// Trials: 100% coverage, §VI-F).
+	PTGuardDetected int
+	// SecWalkMissed counts faults the 25-bit EDC accepted.
+	SecWalkMissed int
+	// SECDEDSilent counts faults SECDED silently miscorrected or passed.
+	SECDEDSilent int
+	// MonotonicUnprotected counts single-bit faults outside the
+	// monotonic-pointer defense's PFN coverage.
+	MonotonicUnprotected int
+}
+
+// RunCoverage injects `trials` random fault patterns of 1..maxFlips bits
+// into protected PTE lines and scores every defense on the same patterns.
+// PT-Guard is exercised end to end through the memory controller; the
+// per-PTE defenses (SecWalk, SECDED, monotonic pointers) are scored on the
+// corresponding 64-bit entry corruption.
+func RunCoverage(seed uint64, trials, maxFlips int) (CoverageResult, error) {
+	if trials <= 0 || maxFlips <= 0 || maxFlips > 512 {
+		return CoverageResult{}, errors.New("attack: invalid coverage parameters")
+	}
+	w, err := NewWorld(true, false, seed)
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	var sw baseline.SecWalk
+	var ecc baseline.SECDED
+	mono, err := baseline.NewMonotonicPointers(0x80000)
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	r := stats.NewRNG(seed ^ 0xC0BE)
+	res := CoverageResult{Trials: trials}
+
+	// Faults target the security-relevant bits: everything the MAC covers
+	// plus the embedded MAC itself. (Flips confined to the accessed bit
+	// or the ignored field are architecturally meaningless.)
+	format := w.guard.Config().Format
+	var relevantBits []int
+	for b := 0; b < 64; b++ {
+		if (format.ProtectedMask|format.MACMask)>>uint(b)&1 == 1 {
+			relevantBits = append(relevantBits, b)
+		}
+	}
+	if maxFlips > len(relevantBits) {
+		return CoverageResult{}, errors.New("attack: maxFlips exceeds relevant bits per PTE")
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		vaddr := VictimVBase + uint64(r.Intn(VictimPages))*pte.PageSize
+		ea, ok := w.Tables.LeafEntryAddr(vaddr)
+		if !ok {
+			return res, errors.New("attack: victim entry missing")
+		}
+		lineAddr := ea &^ uint64(pte.LineBytes-1)
+		entryIdx := int(ea / 8 % pte.PTEsPerLine)
+		origLine := w.Dev.ReadLine(lineAddr)
+		origEntry := origLine[entryIdx]
+
+		nFlips := 1 + r.Intn(maxFlips)
+		lineBits := make([]int, 0, nFlips)
+		entryBits := make([]int, 0, nFlips)
+		seen := map[int]bool{}
+		for len(lineBits) < nFlips {
+			b := relevantBits[r.Intn(len(relevantBits))]
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			entryBits = append(entryBits, b)
+			lineBits = append(lineBits, entryIdx*64+b)
+		}
+
+		// PT-Guard, end to end.
+		w.Hammer.FlipLineBits(lineAddr, lineBits)
+		if _, _, ok := w.Ctrl.ReadLine(lineAddr, true); !ok {
+			res.PTGuardDetected++
+		}
+		// Restore for the next trial.
+		w.Dev.WriteLine(lineAddr, origLine)
+
+		// SecWalk on the same entry corruption.
+		if !sw.Detects(origEntry, entryBits) {
+			res.SecWalkMissed++
+		}
+
+		// SECDED over the 64-bit entry.
+		cw := ecc.Encode(uint64(origEntry))
+		for _, b := range entryBits {
+			// Map data-bit index to codeword position: data bit d
+			// lives at the (d+1)-th non-check position.
+			cw = cw.Flip(dataPosToCodeword(b))
+		}
+		got, status, derr := ecc.Decode(cw)
+		if derr == nil && status != baseline.DecodeUncorrectable && got != uint64(origEntry) {
+			res.SECDEDSilent++
+		}
+
+		// Monotonic pointers: score single-bit cases only (its threat
+		// model); any flipped metadata bit breaks it.
+		for _, b := range entryBits {
+			if !mono.EvaluateFlip(origEntry, b).Prevented {
+				res.MonotonicUnprotected++
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// dataPosToCodeword maps a 64-bit data bit index to its (72,64) codeword
+// position (skipping the check-bit positions 1,2,4,...,64 and 72).
+func dataPosToCodeword(d int) int {
+	seen := 0
+	for p := 1; p <= baseline.CodewordBits; p++ {
+		if p == 72 || p&(p-1) == 0 {
+			continue
+		}
+		if seen == d {
+			return p
+		}
+		seen++
+	}
+	return baseline.CodewordBits
+}

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"ptguard/internal/core"
+	"ptguard/internal/pte"
+	"ptguard/internal/stats"
+)
+
+// HarvestedMAC is the result of the §IV-G known-plaintext attack: the
+// attacker has learned the MAC for chosen data at a chosen address without
+// ever holding the key.
+type HarvestedMAC struct {
+	// Data is the attacker-chosen line (MAC field zeroed).
+	Data pte.Line
+	// MACField is the leaked MAC bit pattern for Data at Addr.
+	MACField pte.Line
+	// Addr is the physical address the MAC is bound to.
+	Addr uint64
+}
+
+// HarvestMAC executes the known-plaintext flow against a protected world:
+//
+//  1. write attacker data whose MAC-field bits are zero, so PT-Guard embeds
+//     a MAC;
+//  2. hammer one payload bit so the read-path MAC compare fails;
+//  3. read the line back: PT-Guard forwards it unchanged, MAC included;
+//  4. undo the known flip — the attacker now holds (data, MAC, addr).
+//
+// The paper argues (and the tests verify) this is harmless for forgery —
+// MACs resist known-plaintext attacks — but it enables the CTB-overflow
+// nuisance below.
+func (w *World) HarvestMAC(addr uint64, seed uint64) (HarvestedMAC, error) {
+	if w.guard == nil {
+		return HarvestedMAC{}, errors.New("attack: known-plaintext needs a protected world")
+	}
+	r := stats.NewRNG(seed)
+	var data pte.Line
+	for i := range data {
+		// Attacker-chosen content with the pattern bits zeroed.
+		data[i] = pte.Entry(r.Uint64() &^ (pte.MaskMAC | pte.MaskIdentifier))
+	}
+	if _, err := w.Ctrl.WriteLine(addr, data); err != nil {
+		return HarvestedMAC{}, err
+	}
+	// Step 2: one payload flip (bit 1 of entry 0).
+	const flipBit = 1
+	w.Hammer.FlipLineBits(addr, []int{flipBit})
+	// Step 3: regular data read; the MAC mismatch forwards the raw line.
+	leaked, _, ok := w.Ctrl.ReadLine(addr, false)
+	if !ok {
+		return HarvestedMAC{}, errors.New("attack: data read unexpectedly failed closed")
+	}
+	// Step 4: undo the known flip.
+	leaked[0] = pte.Entry(uint64(leaked[0]) ^ 1<<flipBit)
+	var macOnly pte.Line
+	for i := range leaked {
+		macOnly[i] = pte.Entry(uint64(leaked[i]) & pte.MaskMAC)
+	}
+	return HarvestedMAC{Data: data, MACField: macOnly, Addr: addr}, nil
+}
+
+// ForgeCollidingLine combines harvested data with its MAC into a line whose
+// stored MAC-field bits equal the MAC the read path computes: a colliding
+// line the CTB must track (§VII-B).
+func (h HarvestedMAC) ForgeCollidingLine() pte.Line {
+	var line pte.Line
+	for i := range line {
+		line[i] = pte.Entry(uint64(h.Data[i]) | uint64(h.MACField[i]))
+	}
+	return line
+}
+
+// CTBOverflowDoS mounts the §VII-B performance-degradation attack: the
+// attacker forges colliding lines at distinct addresses until the CTB
+// overflows, forcing the system into re-keying. It returns the number of
+// collisions tracked before the overflow signal fired.
+func (w *World) CTBOverflowDoS(seed uint64) (tracked int, err error) {
+	if w.guard == nil {
+		return 0, errors.New("attack: DoS needs a protected world")
+	}
+	capEntries := w.guard.Config().CTBEntries
+	for i := 0; i <= capEntries; i++ {
+		addr := uint64(0x100000 + i*pte.LineBytes)
+		h, herr := w.HarvestMAC(addr, seed+uint64(i))
+		if herr != nil {
+			return tracked, herr
+		}
+		_, werr := w.Ctrl.WriteLine(h.Addr, h.ForgeCollidingLine())
+		switch {
+		case werr == nil:
+			tracked = w.guard.CTBLen()
+		case errors.Is(werr, core.ErrCTBFull):
+			return tracked, core.ErrCTBFull
+		default:
+			return tracked, fmt.Errorf("attack: forge write: %w", werr)
+		}
+	}
+	return tracked, nil
+}

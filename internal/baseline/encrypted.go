@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"ptguard/internal/pte"
+	"ptguard/internal/qarma"
+)
+
+// EncryptedMemory models the design alternative §VII-A dismisses: encrypting
+// page tables instead of authenticating them. Each 16-byte chunk of the
+// line is enciphered with an address-derived tweak (an XTS-like mode).
+// Confidentiality is strong, but there is no authentication signal: a
+// Rowhammer flip in the ciphertext decrypts to a *pseudo-random* plaintext
+// that the walker consumes silently — usually a crash, never a detection,
+// and correction is impossible because the garbage carries no structure.
+type EncryptedMemory struct {
+	cipher *qarma.Cipher
+}
+
+// NewEncryptedMemory builds the encrypted-page-table baseline.
+func NewEncryptedMemory(key []byte) (*EncryptedMemory, error) {
+	c, err := qarma.NewCipher(key, qarma.DefaultRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedMemory{cipher: c}, nil
+}
+
+// Encrypt transforms a line for storage at addr.
+func (m *EncryptedMemory) Encrypt(line pte.Line, addr uint64) pte.Line {
+	return m.apply(line, addr, true)
+}
+
+// Decrypt inverts Encrypt. It has no way to report tampering: flipped
+// ciphertext bits silently decrypt to garbage.
+func (m *EncryptedMemory) Decrypt(line pte.Line, addr uint64) pte.Line {
+	return m.apply(line, addr, false)
+}
+
+func (m *EncryptedMemory) apply(line pte.Line, addr uint64, enc bool) pte.Line {
+	raw := line.Bytes()
+	var out [pte.LineBytes]byte
+	for c := 0; c < 4; c++ {
+		var block, tweak qarma.Block
+		copy(block[:], raw[c*16:(c+1)*16])
+		chunkAddr := addr + uint64(c*16)
+		for b := 0; b < 8; b++ {
+			tweak[b] = byte(chunkAddr >> (8 * b))
+		}
+		var res qarma.Block
+		if enc {
+			res = m.cipher.Encrypt(block, tweak)
+		} else {
+			res = m.cipher.Decrypt(block, tweak)
+		}
+		copy(out[c*16:], res[:])
+	}
+	return pte.LineFromBytes(out)
+}

@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// SECDED implements the extended Hamming (72,64) code of ECC DIMMs
+// (§VIII-D): single-error correction, double-error detection. Like all ECC
+// it miscorrects some ≥3-bit patterns — the opening Rowhammer exploits on
+// ECC memory (ECCploit) use — whereas PT-Guard's cryptographic MAC cannot
+// be fooled by any pattern.
+type SECDED struct{}
+
+// CodewordBits is the encoded width: 64 data + 7 Hamming + 1 overall parity.
+const CodewordBits = 72
+
+// Codeword is a 72-bit ECC codeword; bit positions 1..72 are stored in Lo
+// (positions 1..64) and Hi (positions 65..72). Position 0 is unused.
+type Codeword struct {
+	Lo uint64 // positions 1..64, position p at bit p-1
+	Hi uint8  // positions 65..72, position p at bit p-65
+}
+
+func (c Codeword) bit(p int) uint64 {
+	if p <= 64 {
+		return c.Lo >> uint(p-1) & 1
+	}
+	return uint64(c.Hi >> uint(p-65) & 1)
+}
+
+func (c *Codeword) setBit(p int, v uint64) {
+	if p <= 64 {
+		c.Lo = c.Lo&^(1<<uint(p-1)) | v<<uint(p-1)
+	} else {
+		c.Hi = c.Hi&^(1<<uint(p-65)) | uint8(v)<<uint(p-65)
+	}
+}
+
+// Flip inverts codeword position p (1..72): the fault-injection hook.
+func (c Codeword) Flip(p int) Codeword {
+	if p < 1 || p > CodewordBits {
+		return c
+	}
+	c.setBit(p, c.bit(p)^1)
+	return c
+}
+
+// checkPositions are the Hamming parity positions (powers of two) and the
+// overall parity position.
+var checkPositions = []int{1, 2, 4, 8, 16, 32, 64}
+
+const overallParityPos = 72
+
+// isCheckPos reports whether position p holds a check bit.
+func isCheckPos(p int) bool {
+	return p == overallParityPos || p&(p-1) == 0
+}
+
+// Encode produces the codeword for 64 data bits.
+func (SECDED) Encode(data uint64) Codeword {
+	var cw Codeword
+	// Scatter data into non-check positions.
+	d := 0
+	for p := 1; p <= CodewordBits; p++ {
+		if isCheckPos(p) {
+			continue
+		}
+		cw.setBit(p, data>>uint(d)&1)
+		d++
+	}
+	// Hamming parities: check bit at 2^k covers positions with bit k set.
+	for _, cp := range checkPositions {
+		var parity uint64
+		for p := 1; p < overallParityPos; p++ {
+			if p&cp != 0 && !isCheckPos(p) {
+				parity ^= cw.bit(p)
+			}
+		}
+		cw.setBit(cp, parity)
+	}
+	// Overall parity covers everything else.
+	var all uint64
+	for p := 1; p < overallParityPos; p++ {
+		all ^= cw.bit(p)
+	}
+	cw.setBit(overallParityPos, all)
+	return cw
+}
+
+// DecodeStatus classifies a decode.
+type DecodeStatus int
+
+// Decode outcomes.
+const (
+	// DecodeOK means no error was observed.
+	DecodeOK DecodeStatus = iota + 1
+	// DecodeCorrected means a single-bit error was repaired (so the
+	// decoder believes; a 3-bit pattern aliasing a single-bit syndrome
+	// lands here too — a miscorrection).
+	DecodeCorrected
+	// DecodeUncorrectable means a double-bit error was detected.
+	DecodeUncorrectable
+)
+
+// Decode extracts the data, correcting a single-bit error and detecting
+// double-bit errors.
+func (s SECDED) Decode(cw Codeword) (uint64, DecodeStatus, error) {
+	syndrome := 0
+	for _, cp := range checkPositions {
+		var parity uint64
+		for p := 1; p < overallParityPos; p++ {
+			if p&cp != 0 {
+				parity ^= cw.bit(p)
+			}
+		}
+		if parity != 0 {
+			syndrome |= cp
+		}
+	}
+	var overall uint64
+	for p := 1; p <= CodewordBits; p++ {
+		overall ^= cw.bit(p)
+	}
+	switch {
+	case syndrome == 0 && overall == 0:
+		return s.extract(cw), DecodeOK, nil
+	case overall == 1:
+		// Odd weight: treat as single-bit error at the syndrome
+		// position (or the overall parity bit when syndrome is 0).
+		if syndrome == 0 {
+			return s.extract(cw), DecodeCorrected, nil
+		}
+		if syndrome >= overallParityPos {
+			return 0, DecodeUncorrectable, errors.New("baseline: syndrome outside codeword")
+		}
+		return s.extract(cw.Flip(syndrome)), DecodeCorrected, nil
+	default:
+		// syndrome != 0, even weight: double error detected.
+		return 0, DecodeUncorrectable, nil
+	}
+}
+
+func (SECDED) extract(cw Codeword) uint64 {
+	var data uint64
+	d := 0
+	for p := 1; p <= CodewordBits; p++ {
+		if isCheckPos(p) {
+			continue
+		}
+		data |= cw.bit(p) << uint(d)
+		d++
+	}
+	return data
+}
+
+// HammingDistance counts differing positions between two codewords.
+func HammingDistance(a, b Codeword) int {
+	return bits.OnesCount64(a.Lo^b.Lo) + bits.OnesCount8(a.Hi^b.Hi)
+}

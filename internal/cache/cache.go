@@ -1,0 +1,185 @@
+// Package cache implements the set-associative, write-back, LRU caches of
+// the baseline system (Table III): 32 KB 8-way L1s, 256 KB 16-way L2, 2 MB
+// 16-way L3, plus the 8 KB 4-way MMU page-walk cache.
+package cache
+
+import (
+	"fmt"
+
+	"ptguard/internal/pte"
+)
+
+// Config sizes one cache level.
+type Config struct {
+	// Name labels the level in stats output, e.g. "L1D".
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Table III presets.
+var (
+	// L1Config is the 32 KB 8-way L1.
+	L1Config = Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8}
+	// L2Config is the 256 KB 16-way L2.
+	L2Config = Config{Name: "L2", SizeBytes: 256 << 10, Ways: 16}
+	// L3Config is the 2 MB 16-way LLC.
+	L3Config = Config{Name: "L3", SizeBytes: 2 << 20, Ways: 16}
+	// MMUConfig is the 8 KB 4-way MMU (page-walk) cache.
+	MMUConfig = Config{Name: "MMU", SizeBytes: 8 << 10, Ways: 4}
+)
+
+type way struct {
+	lineAddr uint64
+	valid    bool
+	dirty    bool
+	lastUse  uint64
+}
+
+// Cache is one set-associative level. Not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	clock uint64
+
+	accesses, hits, misses, evictions, writebacks uint64
+}
+
+// New builds a cache; the line size is the system-wide 64 bytes.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: invalid config %+v", cfg)
+	}
+	lines := cfg.SizeBytes / pte.LineBytes
+	if lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, cfg.Ways)
+	}
+	nSets := lines / cfg.Ways
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", nSets)
+	}
+	sets := make([][]way, nSets)
+	for i := range sets {
+		sets[i] = make([]way, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Result describes one access.
+type Result struct {
+	// Hit reports whether the line was present.
+	Hit bool
+	// Writeback, when WBValid, is the line address of a dirty victim that
+	// must be written to memory.
+	Writeback uint64
+	// WBValid marks Writeback as meaningful.
+	WBValid bool
+}
+
+// Access looks up addr (installing it on miss) and returns hit/writeback
+// information. write marks the line dirty.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	c.accesses++
+	lineAddr := addr / pte.LineBytes
+	set := c.sets[lineAddr%uint64(len(c.sets))]
+
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == lineAddr {
+			c.hits++
+			set[i].lastUse = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.misses++
+
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	res := Result{}
+	if set[victim].valid {
+		c.evictions++
+		if set[victim].dirty {
+			c.writebacks++
+			res.Writeback = set[victim].lineAddr * pte.LineBytes
+			res.WBValid = true
+		}
+	}
+	set[victim] = way{lineAddr: lineAddr, valid: true, dirty: write, lastUse: c.clock}
+	return res
+}
+
+// Probe reports whether addr is present without disturbing LRU state.
+func (c *Cache) Probe(addr uint64) bool {
+	lineAddr := addr / pte.LineBytes
+	set := c.sets[lineAddr%uint64(len(c.sets))]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr if present, returning a writeback address for a
+// dirty line. Used when PT-Guard refuses to forward a faulty PTE line.
+func (c *Cache) Invalidate(addr uint64) Result {
+	lineAddr := addr / pte.LineBytes
+	set := c.sets[lineAddr%uint64(len(c.sets))]
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == lineAddr {
+			res := Result{}
+			if set[i].dirty {
+				res.Writeback = lineAddr * pte.LineBytes
+				res.WBValid = true
+			}
+			set[i] = way{}
+			return res
+		}
+	}
+	return Result{}
+}
+
+// Stats summarises cache activity.
+type Stats struct {
+	Name                   string
+	Accesses, Hits, Misses uint64
+	Evictions, Writebacks  uint64
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Name:     c.cfg.Name,
+		Accesses: c.accesses, Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Writebacks: c.writebacks,
+	}
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.clock, c.accesses, c.hits, c.misses, c.evictions, c.writebacks = 0, 0, 0, 0, 0, 0
+}
+
+// ResetStats zeroes the counters but keeps cache contents (used after a
+// warm-up phase).
+func (c *Cache) ResetStats() {
+	c.accesses, c.hits, c.misses, c.evictions, c.writebacks = 0, 0, 0, 0, 0
+}

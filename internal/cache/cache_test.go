@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"testing"
+
+	"ptguard/internal/pte"
+)
+
+func mustCache(tb testing.TB, cfg Config) *Cache {
+	tb.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "L1 preset", cfg: L1Config},
+		{name: "L2 preset", cfg: L2Config},
+		{name: "L3 preset", cfg: L3Config},
+		{name: "MMU preset", cfg: MMUConfig},
+		{name: "zero size", cfg: Config{Ways: 4}, wantErr: true},
+		{name: "zero ways", cfg: Config{SizeBytes: 1024}, wantErr: true},
+		{name: "non-pow2 sets", cfg: Config{SizeBytes: 3 * 64 * 4, Ways: 4}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustCache(t, L1Config)
+	if c.Access(0x1000, false).Hit {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000, false).Hit {
+		t.Error("second access missed")
+	}
+	// Same line, different offset.
+	if !c.Access(0x103F, false).Hit {
+		t.Error("same-line access missed")
+	}
+	// Next line misses.
+	if c.Access(0x1040, false).Hit {
+		t.Error("adjacent line hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-way cache with a single set: 4*64 bytes.
+	c := mustCache(t, Config{Name: "tiny", SizeBytes: 4 * 64, Ways: 4})
+	for i := 0; i < 4; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	c.Access(0, false) // refresh line 0
+	// Fifth distinct line evicts the LRU: line 1.
+	c.Access(4*64, false)
+	if !c.Probe(0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Probe(1 * 64) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c := mustCache(t, Config{Name: "tiny", SizeBytes: 2 * 64, Ways: 2})
+	c.Access(0, true) // dirty
+	c.Access(64, false)
+	res := c.Access(128, false) // evicts line 0 (dirty)
+	if !res.WBValid || res.Writeback != 0 {
+		t.Errorf("expected writeback of addr 0, got %+v", res)
+	}
+	res2 := c.Access(192, false) // evicts line 64 (clean)
+	if res2.WBValid {
+		t.Errorf("clean eviction produced writeback: %+v", res2)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.Writebacks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustCache(t, L1Config)
+	c.Access(0x2000, true)
+	res := c.Invalidate(0x2000)
+	if !res.WBValid || res.Writeback != 0x2000 {
+		t.Errorf("dirty invalidate = %+v", res)
+	}
+	if c.Probe(0x2000) {
+		t.Error("line still present after invalidate")
+	}
+	if c.Invalidate(0x9999000).WBValid {
+		t.Error("invalidating absent line produced writeback")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := mustCache(t, L2Config)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		c.Access(uint64(i%100)*pte.LineBytes, false)
+	}
+	s := c.Stats()
+	if s.Accesses != n {
+		t.Errorf("accesses = %d, want %d", s.Accesses, n)
+	}
+	if s.Hits+s.Misses != s.Accesses {
+		t.Error("hits + misses != accesses")
+	}
+	if s.Misses != 100 {
+		t.Errorf("misses = %d, want 100 (one cold miss per line)", s.Misses)
+	}
+	c.Reset()
+	if c.Stats().Accesses != 0 || c.Probe(0) {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestWorkingSetLargerThanCacheThrashes(t *testing.T) {
+	c := mustCache(t, Config{Name: "tiny", SizeBytes: 8 * 64, Ways: 2})
+	// Sequential sweep over 4x the capacity, twice: second pass must
+	// still miss everywhere (LRU on a streaming pattern).
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 32; i++ {
+			c.Access(uint64(i)*64, false)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Errorf("streaming pattern got %d hits, want 0", s.Hits)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/bits"
+
+	"ptguard/internal/pte"
+)
+
+// gatherField collects the bits selected by mask from each of the eight
+// PTEs in the line, LSB-first within each PTE, PTE 0 first, into a
+// little-endian byte stream. With the x86_64 MAC mask this yields the
+// 96-bit pooled MAC field of Fig. 2.
+func gatherField(line pte.Line, mask uint64) []byte {
+	n := bits.OnesCount64(mask) * pte.PTEsPerLine
+	out := make([]byte, (n+7)/8)
+	pos := 0
+	for _, e := range line {
+		m := mask
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			if uint64(e)>>uint(b)&1 == 1 {
+				out[pos/8] |= 1 << (pos % 8)
+			}
+			pos++
+		}
+	}
+	return out
+}
+
+// scatterField writes the bit stream into the mask-selected bits of each
+// PTE, inverting gatherField.
+func scatterField(line pte.Line, mask uint64, data []byte) pte.Line {
+	pos := 0
+	for i, e := range line {
+		v := uint64(e) &^ mask
+		m := mask
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			if pos/8 < len(data) && data[pos/8]>>(pos%8)&1 == 1 {
+				v |= 1 << uint(b)
+			}
+			pos++
+		}
+		line[i] = pte.Entry(v)
+	}
+	return line
+}
+
+// clearField zeroes the mask-selected bits in every PTE of the line.
+func clearField(line pte.Line, mask uint64) pte.Line {
+	for i := range line {
+		line[i] = pte.Entry(uint64(line[i]) &^ mask)
+	}
+	return line
+}
+
+// fieldIsZero reports whether every mask-selected bit in every PTE is zero:
+// the bit-pattern match of §IV-B performed on DRAM writes.
+func fieldIsZero(line pte.Line, mask uint64) bool {
+	for _, e := range line {
+		if uint64(e)&mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maskedImage returns the 64-byte image used as MAC input: only the bits of
+// protectedMask survive in each PTE (Table IV), everything else is zero.
+func maskedImage(line pte.Line, protectedMask uint64) [pte.LineBytes]byte {
+	var masked pte.Line
+	for i, e := range line {
+		masked[i] = pte.Entry(uint64(e) & protectedMask)
+	}
+	return masked.Bytes()
+}
+
+// lineIsZero reports whether all 512 bits of the line are zero.
+func lineIsZero(line pte.Line) bool {
+	for _, e := range line {
+		if e != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package core
+
+import "errors"
+
+// ErrCTBFull is returned when a colliding line is found but the Collision
+// Tracking Buffer has no free entry; the system must re-key (§IV-F, §VII-B).
+var ErrCTBFull = errors.New("core: collision tracking buffer full, re-key required")
+
+// DefaultCTBEntries is the paper's CTB size: 4 entries, 20 bytes of SRAM.
+const DefaultCTBEntries = 4
+
+// ctbEntryBytes is the SRAM cost per entry: a 40-bit line address (§IV-F
+// provisions 20 bytes for 4 entries).
+const ctbEntryBytes = 5
+
+// ctb is the Collision Tracking Buffer: a tiny fully-associative SRAM
+// structure at the memory controller holding line addresses whose data bits
+// accidentally equal their own computed MAC (§IV-D).
+type ctb struct {
+	addrs []uint64
+	cap   int
+}
+
+func newCTB(entries int) *ctb {
+	return &ctb{addrs: make([]uint64, 0, entries), cap: entries}
+}
+
+// contains reports whether addr is tracked.
+func (c *ctb) contains(addr uint64) bool {
+	for _, a := range c.addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// add tracks addr, returning ErrCTBFull when out of entries. Adding an
+// already-tracked address is a no-op.
+func (c *ctb) add(addr uint64) error {
+	if c.contains(addr) {
+		return nil
+	}
+	if len(c.addrs) >= c.cap {
+		return ErrCTBFull
+	}
+	c.addrs = append(c.addrs, addr)
+	return nil
+}
+
+// remove untracks addr: the OS wrote a benign value over the colliding line
+// (§VII-B).
+func (c *ctb) remove(addr uint64) {
+	for i, a := range c.addrs {
+		if a == addr {
+			c.addrs = append(c.addrs[:i], c.addrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// reset clears the buffer (after a full-memory re-key).
+func (c *ctb) reset() { c.addrs = c.addrs[:0] }
+
+// len returns the number of tracked lines.
+func (c *ctb) len() int { return len(c.addrs) }
+
+// sramBytes returns the buffer's SRAM cost.
+func (c *ctb) sramBytes() int { return c.cap * ctbEntryBytes }

@@ -1,0 +1,422 @@
+// Package core implements the PT-Guard mechanism of §IV-§VI: opportunistic
+// MAC embedding in PTE cachelines on DRAM writes, integrity verification on
+// page-table walks, MAC stripping on reads, collision tracking, the
+// identifier and MAC-zero optimizations, and the best-effort correction
+// engine.
+//
+// The Guard models the logic the paper places in the memory controller
+// (Fig. 5). It operates on 64-byte line images plus their physical address
+// and an isPTE flag (the request-bus tag added for page-table walks).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ptguard/internal/mac"
+	"ptguard/internal/pte"
+)
+
+// Paper default latencies and sizes.
+const (
+	// DefaultMACLatencyCycles is the QARMA-128 MAC latency at 3 GHz:
+	// 3.4 ns ≈ 10 CPU cycles (§IV-F).
+	DefaultMACLatencyCycles = 10
+	// keySRAMBytes is the MAC key cost: 32 bytes (§IV-F).
+	keySRAMBytes = 32
+	// identifierSRAMBytes is the 56-bit identifier cost: 7 bytes (§V-E).
+	identifierSRAMBytes = 7
+	// zeroMACSRAMBytes is the precomputed MAC-zero cost: 12 bytes (§V-E).
+	zeroMACSRAMBytes = 12
+)
+
+// Config configures a Guard. The zero value is not usable; call NewGuard.
+type Config struct {
+	// Format selects the PTE layout and bit masks (Table IV).
+	Format pte.Format
+	// Key is the 32-byte secret MAC key held in memory-controller SRAM.
+	Key []byte
+	// TagBits is the MAC width; 0 selects the paper's 96 bits (64 when
+	// UseQARMA64 is set).
+	TagBits int
+	// UseQARMA64 computes MACs with the QARMA-64 cipher: the lower-latency
+	// primitive natural for the §VII-A 64-bit design point.
+	UseQARMA64 bool
+	// Rounds is the QARMA forward round count; 0 selects the default.
+	Rounds int
+	// OptIdentifier enables the §V-A identifier optimization: the write
+	// pattern match extends to the reserved bits, and data reads skip MAC
+	// computation unless the identifier is present.
+	OptIdentifier bool
+	// Identifier is the predefined random identifier value; only the low
+	// IdentifierBitsPerLine bits are used. Required if OptIdentifier.
+	Identifier uint64
+	// OptZeroMAC enables the §V-B zero-cacheline optimization.
+	OptZeroMAC bool
+	// EnableCorrection enables the §VI best-effort correction engine on
+	// page-table-walk integrity failures.
+	EnableCorrection bool
+	// SoftMatchK is the fault-tolerant MAC budget: corrections accept a
+	// MAC within k bit-flips (§VI-C). The paper uses 4. Ignored unless
+	// EnableCorrection.
+	SoftMatchK int
+	// ZeroResetMaxBits is the "almost-zero PTE" threshold for correction
+	// step 3; the paper resets PTEs with at most 4 protected bits set.
+	ZeroResetMaxBits int
+	// Ablation switches (DESIGN.md §5.5): disable individual correction
+	// guess strategies to measure each one's contribution to the Fig. 9
+	// correction rate. All false runs the full §VI-D algorithm.
+	DisableFlipAndCheck bool
+	DisableZeroReset    bool
+	DisableFlagVote     bool
+	DisableContiguity   bool
+	// CTBEntries sizes the Collision Tracking Buffer; 0 selects 4.
+	CTBEntries int
+	// MACLatencyCycles is the MAC computation delay used by the timing
+	// model; 0 selects 10 cycles.
+	MACLatencyCycles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TagBits == 0 {
+		if c.UseQARMA64 {
+			c.TagBits = 64
+		} else {
+			c.TagBits = mac.DefaultTagBits
+		}
+	}
+	if c.CTBEntries == 0 {
+		c.CTBEntries = DefaultCTBEntries
+	}
+	if c.MACLatencyCycles == 0 {
+		c.MACLatencyCycles = DefaultMACLatencyCycles
+	}
+	if c.ZeroResetMaxBits == 0 {
+		c.ZeroResetMaxBits = 4
+	}
+	return c
+}
+
+// Counters aggregates the Guard's observable activity, consumed by the
+// timing model and the experiment harnesses.
+type Counters struct {
+	Writes            uint64 // DRAM writes observed
+	Reads             uint64 // DRAM reads observed
+	ProtectedWrites   uint64 // writes that matched the pattern (MAC embedded)
+	WriteMACComputes  uint64 // MAC computations on the write path
+	ReadMACComputes   uint64 // MAC computations on the read path
+	PTEWalkChecks     uint64 // page-table-walk integrity checks
+	VerifyFailures    uint64 // uncorrectable integrity failures
+	Corrections       uint64 // successful best-effort corrections
+	CorrectionGuesses uint64 // total correction guesses attempted
+	StrippedReads     uint64 // protected lines whose MAC was removed on read
+	IdentifierSkips   uint64 // data reads that skipped MAC (no identifier)
+	ZeroFastPathHits  uint64 // MAC computations avoided via MAC-zero
+	CollisionsTracked uint64 // colliding lines inserted into the CTB
+}
+
+// Guard is the PT-Guard logic instance at the memory controller.
+// Guard is not safe for concurrent use; the simulator serialises accesses
+// as a real controller's single verification pipeline would.
+type Guard struct {
+	cfg     Config
+	auth    *mac.Authenticator
+	ctb     *ctb
+	zeroTag mac.Tag
+	ident   []byte // identifier bit-stream, sized to the identifier field
+	ctr     Counters
+}
+
+// NewGuard validates cfg and builds a Guard.
+func NewGuard(cfg Config) (*Guard, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Format.Name == "" {
+		return nil, errors.New("core: config needs a PTE format")
+	}
+	macCapacity := cfg.Format.MACBitsPerLine()
+	if cfg.TagBits > macCapacity {
+		return nil, fmt.Errorf("core: %d-bit tag exceeds %d-bit line capacity", cfg.TagBits, macCapacity)
+	}
+	if cfg.SoftMatchK < 0 || cfg.SoftMatchK >= cfg.TagBits {
+		return nil, fmt.Errorf("core: soft-match budget %d outside [0, tag bits)", cfg.SoftMatchK)
+	}
+	opts := []mac.Option{mac.WithTagBits(cfg.TagBits)}
+	if cfg.UseQARMA64 {
+		opts = append(opts, mac.WithQARMA64())
+	}
+	if cfg.Rounds != 0 {
+		opts = append(opts, mac.WithRounds(cfg.Rounds))
+	}
+	auth, err := mac.New(cfg.Key, opts...)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guard{
+		cfg:  cfg,
+		auth: auth,
+		ctb:  newCTB(cfg.CTBEntries),
+	}
+	if cfg.OptZeroMAC {
+		g.zeroTag = auth.ZeroLineTag()
+	}
+	if cfg.OptIdentifier {
+		identBits := cfg.Format.IdentifierBitsPerLine()
+		g.ident = make([]byte, (identBits+7)/8)
+		for i := range g.ident {
+			g.ident[i] = byte(cfg.Identifier >> (8 * i))
+		}
+		for i := identBits; i < len(g.ident)*8; i++ {
+			g.ident[i/8] &^= 1 << (i % 8)
+		}
+	}
+	return g, nil
+}
+
+// Config returns the effective configuration.
+func (g *Guard) Config() Config { return g.cfg }
+
+// Counters returns a snapshot of the activity counters.
+func (g *Guard) Counters() Counters { return g.ctr }
+
+// ResetCounters zeroes the activity counters.
+func (g *Guard) ResetCounters() { g.ctr = Counters{} }
+
+// CTBLen returns the number of colliding lines currently tracked.
+func (g *Guard) CTBLen() int { return g.ctb.len() }
+
+// CTBRelease untracks a colliding line after the OS rewrote it (§VII-B).
+func (g *Guard) CTBRelease(addr uint64) { g.ctb.remove(addr) }
+
+// SRAMBytes returns the mechanism's SRAM cost: 52 bytes for the base design
+// and 71 bytes with both optimizations (§V-E).
+func (g *Guard) SRAMBytes() int {
+	n := keySRAMBytes + g.ctb.sramBytes()
+	if g.cfg.OptIdentifier {
+		n += identifierSRAMBytes
+	}
+	if g.cfg.OptZeroMAC {
+		n += zeroMACSRAMBytes
+	}
+	return n
+}
+
+// WriteResult describes what the Guard did to a line on the DRAM write path.
+type WriteResult struct {
+	// Line is the image actually written to DRAM (MAC embedded if
+	// Protected).
+	Line pte.Line
+	// Protected reports that the bit-pattern matched and a MAC (and
+	// identifier, if enabled) was embedded.
+	Protected bool
+	// MACComputed reports that the write path ran the MAC unit.
+	MACComputed bool
+	// CollisionTracked reports the line was a colliding line and entered
+	// the CTB.
+	CollisionTracked bool
+}
+
+// OnWrite processes a 64-byte line on its way to DRAM (§IV-B, §IV-D).
+// It returns ErrCTBFull if a colliding line cannot be tracked.
+func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
+	g.ctr.Writes++
+	f := g.cfg.Format
+
+	pattern := fieldIsZero(line, f.MACMask)
+	if g.cfg.OptIdentifier {
+		pattern = pattern && fieldIsZero(line, f.IdentifierMask)
+	}
+
+	if pattern {
+		res := WriteResult{Protected: true}
+		var tag mac.Tag
+		if g.cfg.OptZeroMAC && lineIsZero(line) {
+			tag = g.zeroTag
+			g.ctr.ZeroFastPathHits++
+		} else {
+			tag = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+			g.ctr.WriteMACComputes++
+			res.MACComputed = true
+		}
+		out := scatterField(line, f.MACMask, tag.Bytes())
+		if g.cfg.OptIdentifier {
+			out = scatterField(out, f.IdentifierMask, g.ident)
+		}
+		// A previously colliding address overwritten by a protected
+		// line is no longer colliding.
+		g.ctb.remove(addr)
+		res.Line = out
+		g.ctr.ProtectedWrites++
+		return res, nil
+	}
+
+	// Not a protected line: check whether its existing bits collide with
+	// the MAC the read path would compute (§IV-D). Under the identifier
+	// optimization a read only consults the MAC when the identifier
+	// matches, so only such lines can collide (§V-A).
+	collisionPossible := true
+	if g.cfg.OptIdentifier {
+		collisionPossible = bytesEqual(gatherField(line, f.IdentifierMask), g.ident)
+	}
+	res := WriteResult{Line: line}
+	if collisionPossible {
+		tag := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+		g.ctr.WriteMACComputes++
+		res.MACComputed = true
+		if bytesEqual(gatherField(line, f.MACMask), tag.Bytes()) {
+			if err := g.ctb.add(addr); err != nil {
+				return res, err
+			}
+			res.CollisionTracked = true
+			g.ctr.CollisionsTracked++
+		} else {
+			g.ctb.remove(addr)
+		}
+	} else {
+		g.ctb.remove(addr)
+	}
+	return res, nil
+}
+
+// ReadResult describes what the Guard did to a line on the DRAM read path.
+type ReadResult struct {
+	// Line is the image forwarded to the cache hierarchy. Meaningless if
+	// CheckFailed: the line is not forwarded (§IV-F).
+	Line pte.Line
+	// CheckFailed mirrors the PTECheckFailed response-bus bit.
+	CheckFailed bool
+	// Stripped reports that an embedded MAC (and identifier) was removed.
+	Stripped bool
+	// MACComputed reports that the read path ran the MAC unit at least
+	// once (the timing model charges MAC latency for it).
+	MACComputed bool
+	// Corrected reports the correction engine repaired the line.
+	Corrected bool
+	// Guesses is the number of correction guesses performed.
+	Guesses int
+}
+
+// OnRead processes a 64-byte line arriving from DRAM. isPTE mirrors the
+// request-bus bit set for page-table walks (§IV-F); such reads always
+// verify integrity. Regular reads identify and strip embedded MACs.
+func (g *Guard) OnRead(line pte.Line, addr uint64, isPTE bool) ReadResult {
+	g.ctr.Reads++
+	if g.ctb.contains(addr) {
+		// Colliding line: forward unmodified, no MAC check (§IV-D).
+		return ReadResult{Line: line}
+	}
+	if isPTE {
+		return g.readPTE(line, addr)
+	}
+	return g.readData(line, addr)
+}
+
+// readPTE is the page-table-walk path: verify, then strip (§IV-C).
+func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
+	g.ctr.PTEWalkChecks++
+	f := g.cfg.Format
+	stored, _ := mac.TagFromBytes(gatherField(line, f.MACMask), g.cfg.TagBits)
+
+	// Zero fast path (§V-B): an all-zero payload carrying MAC-zero.
+	if g.cfg.OptZeroMAC && g.isZeroProtected(line, stored, 0) {
+		g.ctr.ZeroFastPathHits++
+		g.ctr.StrippedReads++
+		return ReadResult{Line: g.strip(line), Stripped: true}
+	}
+
+	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+	g.ctr.ReadMACComputes++
+	res := ReadResult{MACComputed: true}
+	if computed.Equal(stored) {
+		g.ctr.StrippedReads++
+		res.Line = g.strip(line)
+		res.Stripped = true
+		return res
+	}
+
+	if g.cfg.EnableCorrection {
+		corrected, guesses, ok := g.correct(line, addr, stored)
+		res.Guesses = guesses
+		g.ctr.CorrectionGuesses += uint64(guesses)
+		if ok {
+			g.ctr.Corrections++
+			g.ctr.StrippedReads++
+			res.Line = g.strip(corrected)
+			res.Stripped = true
+			res.Corrected = true
+			return res
+		}
+	}
+	g.ctr.VerifyFailures++
+	res.CheckFailed = true
+	return res
+}
+
+// readData is the regular-data path: detect an embedded MAC and remove it;
+// otherwise forward the line untouched (§IV-C, §IV-E).
+func (g *Guard) readData(line pte.Line, addr uint64) ReadResult {
+	f := g.cfg.Format
+	if g.cfg.OptIdentifier {
+		if !bytesEqual(gatherField(line, f.IdentifierMask), g.ident) {
+			// No identifier: the common case; skip the MAC unit
+			// entirely (§V-A).
+			g.ctr.IdentifierSkips++
+			return ReadResult{Line: line}
+		}
+	}
+	stored, _ := mac.TagFromBytes(gatherField(line, f.MACMask), g.cfg.TagBits)
+	if g.cfg.OptZeroMAC && g.isZeroProtected(line, stored, 0) {
+		g.ctr.ZeroFastPathHits++
+		g.ctr.StrippedReads++
+		return ReadResult{Line: g.strip(line), Stripped: true}
+	}
+	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+	g.ctr.ReadMACComputes++
+	res := ReadResult{MACComputed: true}
+	if computed.Equal(stored) {
+		g.ctr.StrippedReads++
+		res.Line = g.strip(line)
+		res.Stripped = true
+		return res
+	}
+	// MAC mismatch on a data read: either the line never carried a MAC,
+	// or it carried one and has bit flips. Forward unchanged either way —
+	// no worse than an unprotected baseline (§IV-E).
+	res.Line = line
+	return res
+}
+
+// isZeroProtected reports whether the line is an all-zero payload carrying
+// MAC-zero (within k bit flips) in its MAC field.
+func (g *Guard) isZeroProtected(line pte.Line, stored mac.Tag, k int) bool {
+	cleared := clearField(line, g.cfg.Format.MACMask)
+	if g.cfg.OptIdentifier {
+		cleared = clearField(cleared, g.cfg.Format.IdentifierMask)
+	}
+	if !lineIsZero(cleared) {
+		return false
+	}
+	ok, err := g.zeroTag.SoftMatch(stored, k)
+	return err == nil && ok
+}
+
+// strip removes the MAC and identifier fields before the line is forwarded
+// to the caches and TLB, restoring the architectural PTE image (§IV-C).
+func (g *Guard) strip(line pte.Line) pte.Line {
+	out := clearField(line, g.cfg.Format.MACMask)
+	if g.cfg.OptIdentifier {
+		out = clearField(out, g.cfg.Format.IdentifierMask)
+	}
+	return out
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+// Package dram models the DRAM device PT-Guard sits in front of: bank/row
+// geometry, open-page timing, backing storage for 64-byte lines, and the
+// Rowhammer disturbance model used for fault injection (paper §II, §VI-F).
+package dram
+
+import (
+	"fmt"
+
+	"ptguard/internal/pte"
+)
+
+// Geometry describes the module layout. The defaults model the paper's 4 GB
+// DDR4 channel (Table III).
+type Geometry struct {
+	// Channels is the number of independent channels.
+	Channels int
+	// BanksPerChannel is the total banks (ranks x bank groups x banks).
+	BanksPerChannel int
+	// RowsPerBank is the number of DRAM rows in each bank.
+	RowsPerBank int
+	// RowBytes is the row (page) size in bytes.
+	RowBytes int
+}
+
+// DefaultGeometry returns the 4 GB DDR4 layout of Table III: 1 channel,
+// 16 banks, 32 Ki rows of 8 KB.
+func DefaultGeometry() Geometry {
+	return Geometry{Channels: 1, BanksPerChannel: 16, RowsPerBank: 1 << 15, RowBytes: 8192}
+}
+
+// Capacity returns the module capacity in bytes.
+func (g Geometry) Capacity() uint64 {
+	return uint64(g.Channels) * uint64(g.BanksPerChannel) * uint64(g.RowsPerBank) * uint64(g.RowBytes)
+}
+
+// Timing holds access latencies in CPU cycles at the core clock (3 GHz).
+// They fold in controller queueing and bus transfer, sized so a typical
+// LLC-miss-to-DRAM round trip costs ~200-260 cycles.
+type Timing struct {
+	// RowHit is the latency when the row buffer already holds the row.
+	RowHit int
+	// RowEmpty is the latency when the bank is precharged (activate+CAS).
+	RowEmpty int
+	// RowConflict is the latency when another row must first precharge.
+	RowConflict int
+	// WriteExtra is added to writes (write recovery).
+	WriteExtra int
+}
+
+// DefaultTiming returns DDR4-like latencies at 3 GHz.
+func DefaultTiming() Timing {
+	return Timing{RowHit: 160, RowEmpty: 210, RowConflict: 260, WriteExtra: 20}
+}
+
+// Location identifies a line's physical placement.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     int
+	Column  int
+}
+
+// Device is a DRAM module: sparse line storage plus per-bank row-buffer
+// state and per-row activation counters for the Rowhammer model.
+// Device is not safe for concurrent use.
+type Device struct {
+	geo    Geometry
+	timing Timing
+
+	lines map[uint64]pte.Line
+
+	// openRow tracks the row latched in each bank's row buffer (-1 when
+	// precharged). Indexed by channel*BanksPerChannel+bank.
+	openRow []int
+
+	// activations counts row activations since the last refresh window,
+	// keyed by (bank index, row).
+	activations map[bankRow]int
+
+	// autoRefreshEvery, when positive, clears activation counters after
+	// that many accesses: the periodic auto-refresh (tREFW) that bounds
+	// how long an attacker can hammer before victim charge is restored.
+	autoRefreshEvery int
+	accessesSinceRef int
+
+	reads, writes, rowHits, rowMisses uint64
+	refreshWindows                    uint64
+}
+
+type bankRow struct {
+	bank int
+	row  int
+}
+
+// NewDevice builds a device; zero-value Geometry/Timing select defaults.
+func NewDevice(geo Geometry, timing Timing) (*Device, error) {
+	if geo == (Geometry{}) {
+		geo = DefaultGeometry()
+	}
+	if timing == (Timing{}) {
+		timing = DefaultTiming()
+	}
+	if geo.Channels <= 0 || geo.BanksPerChannel <= 0 || geo.RowsPerBank <= 0 || geo.RowBytes < pte.LineBytes {
+		return nil, fmt.Errorf("dram: invalid geometry %+v", geo)
+	}
+	nBanks := geo.Channels * geo.BanksPerChannel
+	open := make([]int, nBanks)
+	for i := range open {
+		open[i] = -1
+	}
+	return &Device{
+		geo:         geo,
+		timing:      timing,
+		lines:       make(map[uint64]pte.Line),
+		openRow:     open,
+		activations: make(map[bankRow]int),
+	}, nil
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Locate maps a physical line address to its channel/bank/row/column using
+// a row:bank:column interleaving (consecutive lines stripe across banks so
+// streaming workloads hit open rows).
+func (d *Device) Locate(addr uint64) Location {
+	line := addr / pte.LineBytes
+	linesPerRow := uint64(d.geo.RowBytes / pte.LineBytes)
+	col := int(line % linesPerRow)
+	line /= linesPerRow
+	bank := int(line % uint64(d.geo.BanksPerChannel))
+	line /= uint64(d.geo.BanksPerChannel)
+	ch := int(line % uint64(d.geo.Channels))
+	row := int(line / uint64(d.geo.Channels) % uint64(d.geo.RowsPerBank))
+	return Location{Channel: ch, Bank: bank, Row: row, Column: col}
+}
+
+// RowBase returns the physical address of the first line in the same row as
+// addr, plus the number of lines per row. Useful for placing victims.
+func (d *Device) RowBase(addr uint64) (uint64, int) {
+	linesPerRow := d.geo.RowBytes / pte.LineBytes
+	rowSpan := uint64(linesPerRow * pte.LineBytes)
+	return addr / rowSpan * rowSpan, linesPerRow
+}
+
+// AddrOfRow returns a physical address residing in (bank, row) of channel 0,
+// at the given column. It inverts Locate for attack placement.
+func (d *Device) AddrOfRow(bank, row, column int) uint64 {
+	linesPerRow := uint64(d.geo.RowBytes / pte.LineBytes)
+	line := uint64(row)*uint64(d.geo.Channels)*uint64(d.geo.BanksPerChannel) +
+		uint64(bank) // channel 0
+	return (line*linesPerRow + uint64(column)) * pte.LineBytes
+}
+
+// Access performs a timing access to the line at addr, returning its
+// latency in CPU cycles. It updates the row buffer and the activation
+// counter feeding the Rowhammer model.
+func (d *Device) Access(addr uint64, write bool) int {
+	loc := d.Locate(addr)
+	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
+	var lat int
+	switch d.openRow[bankIdx] {
+	case loc.Row:
+		lat = d.timing.RowHit
+		d.rowHits++
+	case -1:
+		lat = d.timing.RowEmpty
+		d.activate(bankIdx, loc.Row)
+		d.rowMisses++
+	default:
+		lat = d.timing.RowConflict
+		d.activate(bankIdx, loc.Row)
+		d.rowMisses++
+	}
+	d.openRow[bankIdx] = loc.Row
+	if write {
+		lat += d.timing.WriteExtra
+		d.writes++
+	} else {
+		d.reads++
+	}
+	if d.autoRefreshEvery > 0 {
+		d.accessesSinceRef++
+		if d.accessesSinceRef >= d.autoRefreshEvery {
+			d.RefreshWindow()
+		}
+	}
+	return lat
+}
+
+// SetAutoRefresh makes the device clear activation counters every
+// `accesses` accesses, modelling the tREFW refresh window that limits an
+// attacker's hammering budget. Zero disables auto-refresh.
+func (d *Device) SetAutoRefresh(accesses int) {
+	if accesses < 0 {
+		accesses = 0
+	}
+	d.autoRefreshEvery = accesses
+}
+
+// RefreshWindows returns how many refresh windows have elapsed.
+func (d *Device) RefreshWindows() uint64 { return d.refreshWindows }
+
+func (d *Device) activate(bankIdx, row int) {
+	d.activations[bankRow{bank: bankIdx, row: row}]++
+}
+
+// Activations returns the activation count of the row containing addr since
+// the last refresh window.
+func (d *Device) Activations(addr uint64) int {
+	loc := d.Locate(addr)
+	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
+	return d.activations[bankRow{bank: bankIdx, row: loc.Row}]
+}
+
+// RefreshWindow models the periodic auto-refresh: activation counters reset
+// (charge restored) and all banks precharge.
+func (d *Device) RefreshWindow() {
+	d.activations = make(map[bankRow]int)
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	d.accessesSinceRef = 0
+	d.refreshWindows++
+}
+
+// ReadLine returns the stored line image (zero if never written).
+func (d *Device) ReadLine(addr uint64) pte.Line {
+	return d.lines[addr/pte.LineBytes*pte.LineBytes]
+}
+
+// Contains reports whether the line at addr has ever been written,
+// distinguishing a stored all-zero line from untouched memory.
+func (d *Device) Contains(addr uint64) bool {
+	_, ok := d.lines[addr/pte.LineBytes*pte.LineBytes]
+	return ok
+}
+
+// WriteLine stores a line image.
+func (d *Device) WriteLine(addr uint64, line pte.Line) {
+	d.lines[addr/pte.LineBytes*pte.LineBytes] = line
+}
+
+// Lines calls fn for every stored line, in unspecified order. Used by the
+// full-memory re-key sweep (§VII-B). fn must not mutate the device.
+func (d *Device) Lines(fn func(addr uint64, line pte.Line)) {
+	for addr, line := range d.lines {
+		fn(addr, line)
+	}
+}
+
+// StoredLines returns the number of materialised lines.
+func (d *Device) StoredLines() int { return len(d.lines) }
+
+// Stats reports device activity counters.
+type Stats struct {
+	Reads, Writes      uint64
+	RowHits, RowMisses uint64
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{Reads: d.reads, Writes: d.writes, RowHits: d.rowHits, RowMisses: d.rowMisses}
+}

@@ -1,0 +1,111 @@
+package dram
+
+import "errors"
+
+// SoftTRR models the software mitigation of Zhang et al. (paper §II-E item
+// 3): the kernel uses performance counters to track activations of rows
+// holding page tables, and refreshes (re-reads) those rows when an adjacent
+// aggressor gets hot. The paper's critique, which this model reproduces:
+// the design inherits TRR's structural weaknesses — it only watches
+// distance-1 neighbours, so Half-Double's distance-2 disturbance flips PTE
+// rows anyway, and its sampler threshold must guess the true Rowhammer
+// threshold.
+type SoftTRR struct {
+	dev *Device
+	hmr *Hammerer
+	// samplerThreshold is the activation count at which the kernel
+	// issues a mitigative read of a tracked PTE row.
+	samplerThreshold int
+	// pteRows marks the rows registered as holding page tables.
+	pteRows map[bankRow]bool
+
+	mitigations uint64
+}
+
+// NewSoftTRR builds the software mitigation over a device/hammerer pair.
+func NewSoftTRR(dev *Device, hmr *Hammerer, samplerThreshold int) (*SoftTRR, error) {
+	if dev == nil || hmr == nil {
+		return nil, errors.New("dram: SoftTRR needs a device and hammerer")
+	}
+	if samplerThreshold <= 0 {
+		return nil, errors.New("dram: sampler threshold must be positive")
+	}
+	return &SoftTRR{
+		dev:              dev,
+		hmr:              hmr,
+		samplerThreshold: samplerThreshold,
+		pteRows:          make(map[bankRow]bool),
+	}, nil
+}
+
+// RegisterPTERow marks the row containing addr as holding page tables; the
+// kernel knows this from its own allocations.
+func (s *SoftTRR) RegisterPTERow(addr uint64) {
+	loc := s.dev.Locate(addr)
+	bankIdx := loc.Channel*s.dev.geo.BanksPerChannel + loc.Bank
+	s.pteRows[bankRow{bank: bankIdx, row: loc.Row}] = true
+}
+
+// Mitigations returns the number of software refreshes issued.
+func (s *SoftTRR) Mitigations() uint64 { return s.mitigations }
+
+// HammerWithSoftTRR issues count activations to the aggressor row under the
+// software mitigation. Physical disturbance on each neighbour accumulates
+// with every aggressor activation and is relieved only by a refresh; the
+// software's PMU-based sampler refreshes *registered* distance-1 PTE rows
+// whenever its counter crosses the sampler threshold. Unregistered rows get
+// no protection at all, and — as with hardware TRR — each mitigative
+// refresh activates the refreshed row, so a PTE row at distance 2 still
+// accumulates disturbance and flips (Half-Double; §II-E: "the design has
+// the same vulnerabilities as TRR"). Returns the rows that received flips.
+func (s *SoftTRR) HammerWithSoftTRR(aggressorAddr uint64, count int) []int {
+	loc := s.dev.Locate(aggressorAddr)
+	bankIdx := loc.Channel*s.dev.geo.BanksPerChannel + loc.Bank
+
+	// disturb tracks physical charge loss per row since its last refresh.
+	disturb := make(map[int]int)
+	var flipped []int
+	trip := func(row int) {
+		if row < 0 || row >= s.dev.geo.RowsPerBank {
+			return
+		}
+		if disturb[row] < s.hmr.cfg.Threshold {
+			return
+		}
+		if s.hmr.disturbRow(loc.Channel, loc.Bank, row) > 0 {
+			flipped = append(flipped, row)
+		}
+		disturb[row] = 0 // the cells have flipped; model one burst per window
+	}
+
+	swCounter := 0
+	for issued := 0; issued < count; issued++ {
+		// Physical effect of the aggressor activation.
+		disturb[loc.Row-1]++
+		disturb[loc.Row+1]++
+		swCounter++
+		if swCounter >= s.samplerThreshold {
+			swCounter = 0
+			for _, d := range []int{-1, +1} {
+				victim := loc.Row + d
+				if victim < 0 || victim >= s.dev.geo.RowsPerBank {
+					continue
+				}
+				if !s.pteRows[bankRow{bank: bankIdx, row: victim}] {
+					continue // the kernel never looks at it
+				}
+				// Mitigative read: charge restored, but the
+				// refresh activates the victim row, disturbing
+				// the row one step further out.
+				s.mitigations++
+				disturb[victim] = 0
+				disturb[victim+d]++
+			}
+		}
+		trip(loc.Row - 2)
+		trip(loc.Row - 1)
+		trip(loc.Row + 1)
+		trip(loc.Row + 2)
+	}
+	return flipped
+}

@@ -1,0 +1,82 @@
+package dram
+
+import "errors"
+
+// TRR models the in-DRAM Target Row Refresh mitigation the paper's threat
+// model assumes is deployed and defeated (§II-B): a sampler watches row
+// activations and refreshes the immediate neighbours of a row that crosses
+// the sampler threshold. The refresh restores victim charge — but the
+// refresh operation itself activates the refreshed row, which is exactly
+// the lever the Half-Double attack uses to flip bits two rows away.
+type TRR struct {
+	dev *Device
+	hmr *Hammerer
+	// samplerThreshold is the activation count at which TRR mitigates.
+	samplerThreshold int
+	// refreshes counts mitigative refreshes issued.
+	refreshes uint64
+}
+
+// NewTRR attaches a TRR engine to a device/hammerer pair. The sampler
+// threshold must be below the device's flip threshold for the mitigation to
+// be useful against classic patterns.
+func NewTRR(dev *Device, hmr *Hammerer, samplerThreshold int) (*TRR, error) {
+	if dev == nil || hmr == nil {
+		return nil, errors.New("dram: TRR needs a device and hammerer")
+	}
+	if samplerThreshold <= 0 {
+		return nil, errors.New("dram: sampler threshold must be positive")
+	}
+	return &TRR{dev: dev, hmr: hmr, samplerThreshold: samplerThreshold}, nil
+}
+
+// Refreshes returns the number of mitigative refreshes issued.
+func (t *TRR) Refreshes() uint64 { return t.refreshes }
+
+// HammerWithTRR issues count activations to the aggressor row while TRR
+// watches. Classic (distance-1) victims are protected: whenever the
+// aggressor crosses the sampler threshold, both neighbours are refreshed
+// (activation counters cleared). But each mitigative refresh activates the
+// refreshed rows, so *their* neighbours — distance 2 from the aggressor —
+// silently accumulate activations and eventually flip: Half-Double
+// (Kogler et al., §II-B). Returns the rows that received flips.
+func (t *TRR) HammerWithTRR(aggressorAddr uint64, count int) []int {
+	loc := t.dev.Locate(aggressorAddr)
+	bankIdx := loc.Channel*t.dev.geo.BanksPerChannel + loc.Bank
+	agg := bankRow{bank: bankIdx, row: loc.Row}
+
+	var flipped []int
+	for issued := 0; issued < count; issued++ {
+		t.dev.activations[agg]++
+		if t.dev.activations[agg] < t.samplerThreshold {
+			continue
+		}
+		// Mitigate: refresh the distance-1 neighbours. Charge is
+		// restored (their own disturbance resets) and the aggressor
+		// counter clears.
+		t.dev.activations[agg] = 0
+		for _, d := range []int{-1, +1} {
+			victim := loc.Row + d
+			if victim < 0 || victim >= t.dev.geo.RowsPerBank {
+				continue
+			}
+			t.refreshes++
+			// The refresh is itself a row activation of the
+			// victim row: its neighbours at distance 2 from the
+			// original aggressor take disturbance.
+			v := bankRow{bank: bankIdx, row: victim}
+			t.dev.activations[v]++
+			if t.dev.activations[v] >= t.hmr.cfg.Threshold {
+				far := victim + d
+				if far < 0 || far >= t.dev.geo.RowsPerBank {
+					continue
+				}
+				if t.hmr.disturbRow(loc.Channel, loc.Bank, far) > 0 {
+					flipped = append(flipped, far)
+				}
+				t.dev.activations[v] = 0
+			}
+		}
+	}
+	return flipped
+}

@@ -1,0 +1,271 @@
+// Package mac implements PT-Guard's message authentication code (§IV-F):
+// the 64-byte cacheline is split into four 16-byte chunks, each chunk is
+// XORed with its 16-byte address block and enciphered with QARMA-128, the
+// four cipher outputs are XOR-folded into a 128-bit value, and the upper
+// bits are dropped to produce the tag (96 bits by default).
+//
+// The package also provides the fault-tolerant "soft match" of §VI-C and
+// the analytic security model of §VI-E (Eqs. 1 and 2).
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ptguard/internal/qarma"
+)
+
+const (
+	// DefaultTagBits is the paper's MAC width: 96 bits pooled from the
+	// unused PFN bits of the eight PTEs in a line.
+	DefaultTagBits = 96
+	// MaxTagBits is the cipher block width ceiling for the tag.
+	MaxTagBits = 128
+	// LineBytes is the cacheline size the MAC covers.
+	LineBytes = 64
+	// KeySize is the secret key size: 32 bytes of SRAM (§IV-F).
+	KeySize = qarma.KeySize
+)
+
+// Tag is a MAC tag of up to 128 bits, stored little-endian in 16 bytes with
+// unused high bits zero.
+type Tag struct {
+	bits int
+	data [16]byte
+}
+
+// Bits returns the tag width in bits.
+func (t Tag) Bits() int { return t.bits }
+
+// Bytes returns the ceil(bits/8) significant bytes of the tag.
+func (t Tag) Bytes() []byte {
+	out := make([]byte, (t.bits+7)/8)
+	copy(out, t.data[:])
+	return out
+}
+
+// Bit returns bit i of the tag.
+func (t Tag) Bit(i int) uint64 {
+	if i < 0 || i >= t.bits {
+		return 0
+	}
+	return uint64(t.data[i/8] >> (i % 8) & 1)
+}
+
+// FlipBit returns a copy of t with bit i inverted (used by fault injection).
+func (t Tag) FlipBit(i int) Tag {
+	if i < 0 || i >= t.bits {
+		return t
+	}
+	out := t
+	out.data[i/8] ^= 1 << (i % 8)
+	return out
+}
+
+// Equal reports whether two tags match exactly.
+func (t Tag) Equal(o Tag) bool { return t.bits == o.bits && t.data == o.data }
+
+// HammingDistance returns the number of differing bits between two tags of
+// equal width.
+func (t Tag) HammingDistance(o Tag) (int, error) {
+	if t.bits != o.bits {
+		return 0, fmt.Errorf("mac: width mismatch %d vs %d", t.bits, o.bits)
+	}
+	d := 0
+	for i := range t.data {
+		d += bits.OnesCount8(t.data[i] ^ o.data[i])
+	}
+	return d, nil
+}
+
+// SoftMatch reports whether the tags are within k bit-flips of each other:
+// the fault-tolerant MAC verification of §VI-C. k=0 is an exact match.
+func (t Tag) SoftMatch(o Tag, k int) (bool, error) {
+	d, err := t.HammingDistance(o)
+	if err != nil {
+		return false, err
+	}
+	return d <= k, nil
+}
+
+// TagFromBytes builds a width-bits tag from raw little-endian bytes,
+// masking off any bits beyond the width.
+func TagFromBytes(raw []byte, width int) (Tag, error) {
+	if width <= 0 || width > MaxTagBits {
+		return Tag{}, fmt.Errorf("mac: tag width %d outside (0, 128]", width)
+	}
+	t := Tag{bits: width}
+	copy(t.data[:], raw)
+	maskTail(&t.data, width)
+	return t, nil
+}
+
+func maskTail(data *[16]byte, width int) {
+	for i := width; i < MaxTagBits; i++ {
+		data[i/8] &^= 1 << (i % 8)
+	}
+}
+
+// Authenticator computes line MACs with a fixed secret key.
+// It is safe for concurrent use.
+type Authenticator struct {
+	cipher   *qarma.Cipher
+	cipher64 *qarma.Cipher64
+	tagBits  int
+}
+
+// Option configures an Authenticator.
+type Option func(*config)
+
+type config struct {
+	rounds  int
+	tagBits int
+	tagSet  bool
+	use64   bool
+}
+
+// WithRounds sets the QARMA forward round count (default qarma.DefaultRounds).
+func WithRounds(r int) Option { return func(c *config) { c.rounds = r } }
+
+// WithTagBits sets the MAC width. The paper uses 96; §VII-A discusses a
+// 64-bit design point that trades correction strength for latency.
+func WithTagBits(n int) Option {
+	return func(c *config) { c.tagBits, c.tagSet = n, true }
+}
+
+// WithQARMA64 computes the MAC with the QARMA-64 cipher (eight 8-byte
+// chunks) instead of QARMA-128: the natural primitive for the §VII-A 64-bit
+// design point, with lower silicon latency. The tag width must not exceed
+// 64 bits; if WithTagBits was not given, 64 is selected.
+func WithQARMA64() Option { return func(c *config) { c.use64 = true } }
+
+// New builds an Authenticator from a 32-byte secret key.
+func New(key []byte, opts ...Option) (*Authenticator, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("mac: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	cfg := config{rounds: qarma.DefaultRounds}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.use64 {
+		if !cfg.tagSet {
+			cfg.tagBits = 64
+		}
+		if cfg.tagBits <= 0 || cfg.tagBits > 64 {
+			return nil, errors.New("mac: QARMA-64 tag width outside (0, 64]")
+		}
+		rounds := cfg.rounds
+		if rounds == qarma.DefaultRounds {
+			rounds = qarma.DefaultRounds64
+		}
+		// The 64-bit cipher consumes the first 16 key bytes.
+		c64, err := qarma.NewCipher64(key[:qarma.Key64Size], rounds)
+		if err != nil {
+			return nil, err
+		}
+		return &Authenticator{cipher64: c64, tagBits: cfg.tagBits}, nil
+	}
+	if !cfg.tagSet {
+		cfg.tagBits = DefaultTagBits
+	}
+	if cfg.tagBits <= 0 || cfg.tagBits > MaxTagBits {
+		return nil, errors.New("mac: tag width outside (0, 128]")
+	}
+	c, err := qarma.NewCipher(key, cfg.rounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Authenticator{cipher: c, tagBits: cfg.tagBits}, nil
+}
+
+// TagBits returns the configured MAC width.
+func (a *Authenticator) TagBits() int { return a.tagBits }
+
+// Compute returns the MAC over a 64-byte line image at physical address
+// addr. Callers must zero the bits not covered by the MAC (the MAC field,
+// the identifier field, the accessed bits and any ignored bits) before
+// calling, per Table IV; internal/core does this.
+func (a *Authenticator) Compute(line [LineBytes]byte, addr uint64) Tag {
+	if a.cipher64 != nil {
+		return a.compute64(line, addr)
+	}
+	var acc qarma.Block
+	for i := 0; i < 4; i++ {
+		var chunk, tweak qarma.Block
+		copy(chunk[:], line[i*16:(i+1)*16])
+		// A_i is the chunk's own 16-byte-aligned physical address,
+		// which both binds the MAC to its location (§IV-G) and makes
+		// the four chunk inputs distinct.
+		chunkAddr := addr + uint64(i*16)
+		for b := 0; b < 8; b++ {
+			tweak[b] = byte(chunkAddr >> (8 * b))
+		}
+		q := a.cipher.Encrypt(xorBlock(chunk, tweak), tweak)
+		acc = xorBlock(acc, q)
+	}
+	t := Tag{bits: a.tagBits}
+	copy(t.data[:], acc[:])
+	maskTail(&t.data, a.tagBits)
+	return t
+}
+
+// compute64 folds eight QARMA-64 calls, one per 8-byte chunk, each bound to
+// its chunk address.
+func (a *Authenticator) compute64(line [LineBytes]byte, addr uint64) Tag {
+	var acc uint64
+	for i := 0; i < 8; i++ {
+		var chunk uint64
+		for b := 0; b < 8; b++ {
+			chunk |= uint64(line[i*8+b]) << (8 * b)
+		}
+		chunkAddr := addr + uint64(i*8)
+		acc ^= a.cipher64.Encrypt(chunk^chunkAddr, chunkAddr)
+	}
+	t := Tag{bits: a.tagBits}
+	for b := 0; b < 8; b++ {
+		t.data[b] = byte(acc >> (8 * b))
+	}
+	maskTail(&t.data, a.tagBits)
+	return t
+}
+
+// ZeroLineTag returns the precomputed MAC-zero of §V-B: the tag of an
+// all-zero line computed without the address input, shared by every zero
+// line in memory. It costs 12 bytes of SRAM in hardware.
+func (a *Authenticator) ZeroLineTag() Tag {
+	if a.cipher64 != nil {
+		var acc uint64
+		for i := 0; i < 8; i++ {
+			acc ^= a.cipher64.Encrypt(0, uint64(i))
+		}
+		t := Tag{bits: a.tagBits}
+		for b := 0; b < 8; b++ {
+			t.data[b] = byte(acc >> (8 * b))
+		}
+		maskTail(&t.data, a.tagBits)
+		return t
+	}
+	var acc qarma.Block
+	for i := 0; i < 4; i++ {
+		var chunk, tweak qarma.Block
+		// Without an address, the chunk index alone differentiates the
+		// four cipher calls (identical inputs would XOR-cancel).
+		tweak[15] = byte(i)
+		q := a.cipher.Encrypt(chunk, tweak)
+		acc = xorBlock(acc, q)
+	}
+	t := Tag{bits: a.tagBits}
+	copy(t.data[:], acc[:])
+	maskTail(&t.data, a.tagBits)
+	return t
+}
+
+func xorBlock(x, y qarma.Block) qarma.Block {
+	var out qarma.Block
+	for i := range out {
+		out[i] = x[i] ^ y[i]
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"ptguard/internal/stats"
+)
+
+// GMaxPaper is the paper's maximum number of correction guesses (§VI-D):
+// 1 (soft retry) + 352 (flip-and-check) + 1 (zero reset) + 18
+// (flag majority vote and PFN contiguity, independently and together).
+const GMaxPaper = 372
+
+// EscapeProbability implements Eq. (1): the probability that a tampered PTE
+// escapes detection when the verifier tolerates up to k faulty MAC bits and
+// performs up to gMax correction guesses:
+//
+//	p_escape = gMax * sum_{h=0}^{k} C(n, h) / 2^n
+func EscapeProbability(n, k, gMax int) (*big.Float, error) {
+	if n <= 0 || k < 0 || k > n || gMax <= 0 {
+		return nil, fmt.Errorf("mac: invalid escape parameters n=%d k=%d gMax=%d", n, k, gMax)
+	}
+	const prec = 256
+	num := new(big.Float).SetPrec(prec).SetInt(stats.CombSum(n, k))
+	num.Mul(num, big.NewFloat(float64(gMax)))
+	den := new(big.Float).SetPrec(prec).SetInt(new(big.Int).Lsh(big.NewInt(1), uint(n)))
+	return num.Quo(num, den), nil
+}
+
+// EffectiveMACBits returns n_eff = -log2(p_escape), the security of the
+// fault-tolerant MAC expressed as an equivalent exact-match MAC width.
+// For n=96, k=4, gMax=372 the paper reports 66 bits.
+func EffectiveMACBits(n, k, gMax int) (float64, error) {
+	p, err := EscapeProbability(n, k, gMax)
+	if err != nil {
+		return 0, err
+	}
+	l, err := stats.Log2Big(p)
+	if err != nil {
+		return 0, err
+	}
+	return -l, nil
+}
+
+// UncorrectableMACProb implements Eq. (2): the probability that an n-bit MAC
+// suffers more than k bit-flips at per-bit flip probability pFlip, making
+// the MAC itself uncorrectable.
+func UncorrectableMACProb(n, k int, pFlip float64) (float64, error) {
+	if n <= 0 || k < 0 || pFlip < 0 || pFlip > 1 {
+		return 0, errors.New("mac: invalid uncorrectable parameters")
+	}
+	v, _ := stats.BinomialTail(n, k, pFlip).Float64()
+	return v, nil
+}
+
+// PickSoftMatchBudget returns the lowest k such that the fraction of
+// uncorrectable MACs stays below target at flip probability pFlip. The
+// paper picks k=4 for n=96 at pFlip=1% with target 1% (§VI-E).
+func PickSoftMatchBudget(n int, pFlip, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, errors.New("mac: target must be in (0, 1)")
+	}
+	for k := 0; k <= n; k++ {
+		p, err := UncorrectableMACProb(n, k, pFlip)
+		if err != nil {
+			return 0, err
+		}
+		if p < target {
+			return k, nil
+		}
+	}
+	return 0, errors.New("mac: no budget satisfies target")
+}
+
+// SecondsPerYear converts attack-time estimates.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// AttackYears returns the expected time, in years, for an attacker to slip a
+// tampered PTE past an effective nEff-bit MAC when each attempt costs
+// attemptNs nanoseconds (the paper assumes one 50 ns DRAM access with a bit
+// flip per attempt; §IV-G reports >1e14 years for 96 bits and §VI-C reports
+// >1e4 years for the 66-bit effective MAC).
+func AttackYears(nEff float64, attemptNs float64) float64 {
+	return math.Exp2(nEff) * attemptNs * 1e-9 / SecondsPerYear
+}

@@ -1,0 +1,138 @@
+// Package memctrl models the memory controller of Fig. 5: it serves line
+// reads and writes against the DRAM device, drives the PT-Guard logic on
+// both paths (MAC insertion on writes, verification on tagged page-table
+// walks), and accounts the MAC latency the timing model charges.
+package memctrl
+
+import (
+	"errors"
+
+	"ptguard/internal/core"
+	"ptguard/internal/dram"
+	"ptguard/internal/pte"
+)
+
+// Controller fronts one DRAM device. guard == nil models the unprotected
+// baseline. Not safe for concurrent use.
+type Controller struct {
+	dev   *dram.Device
+	guard *core.Guard
+
+	// contention is a fixed queueing penalty added to every access,
+	// modelling shared-channel pressure in multicore runs (§VII-C).
+	contention int
+
+	stats Stats
+}
+
+// Stats summarises controller activity.
+type Stats struct {
+	Reads, Writes    uint64
+	ReadMACCycles    uint64 // MAC latency charged on the read path
+	WriteMACCycles   uint64 // MAC latency on writes (off the critical path)
+	CheckFailures    uint64 // integrity exceptions raised
+	CorrectedReads   uint64 // reads repaired by the correction engine
+	CollisionErrors  uint64 // CTB-full events (re-key required)
+	TotalReadCycles  uint64
+	TotalWriteCycles uint64
+}
+
+// New builds a controller. guard may be nil for the baseline.
+func New(dev *dram.Device, guard *core.Guard, contentionCycles int) (*Controller, error) {
+	if dev == nil {
+		return nil, errors.New("memctrl: nil DRAM device")
+	}
+	if contentionCycles < 0 {
+		return nil, errors.New("memctrl: negative contention")
+	}
+	return &Controller{dev: dev, guard: guard, contention: contentionCycles}, nil
+}
+
+// Guard returns the attached PT-Guard instance (nil for baseline).
+func (c *Controller) Guard() *core.Guard { return c.guard }
+
+// Device returns the underlying DRAM device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ReadLine fetches the line at addr. isPTE tags page-table-walk requests
+// (the request-bus bit of Fig. 5). The returned latency covers DRAM timing,
+// contention, and any MAC verification delay. ok is false when PT-Guard
+// raised PTECheckFailed: the line must not be installed or consumed.
+func (c *Controller) ReadLine(addr uint64, isPTE bool) (line pte.Line, latency int, ok bool) {
+	c.stats.Reads++
+	latency = c.dev.Access(addr, false) + c.contention
+	data := c.dev.ReadLine(addr)
+	if c.guard == nil {
+		c.stats.TotalReadCycles += uint64(latency)
+		return data, latency, true
+	}
+	rd := c.guard.OnRead(data, addr, isPTE)
+	if rd.MACComputed {
+		macLat := c.guard.Config().MACLatencyCycles
+		// Correction guesses serialise on the MAC unit; each guess
+		// costs one MAC computation (§VI-E timing side channel).
+		cycles := macLat * max(1, rd.Guesses)
+		latency += cycles
+		c.stats.ReadMACCycles += uint64(cycles)
+	}
+	if rd.Corrected {
+		c.stats.CorrectedReads++
+		// Persist the repair so subsequent reads see the clean line,
+		// as the controller would write back the corrected PTE.
+		fixed, err := c.guard.OnWrite(rd.Line, addr)
+		if err == nil {
+			c.dev.WriteLine(addr, fixed.Line)
+		}
+	}
+	if rd.CheckFailed {
+		c.stats.CheckFailures++
+		c.stats.TotalReadCycles += uint64(latency)
+		return pte.Line{}, latency, false
+	}
+	c.stats.TotalReadCycles += uint64(latency)
+	return rd.Line, latency, true
+}
+
+// WriteLine stores a line (a dirty writeback or an OS store). The latency
+// is reported for accounting but writes are posted: the core does not stall
+// on them, matching the paper's read-path-only slowdown.
+func (c *Controller) WriteLine(addr uint64, line pte.Line) (latency int, err error) {
+	c.stats.Writes++
+	latency = c.dev.Access(addr, true) + c.contention
+	if c.guard == nil {
+		c.dev.WriteLine(addr, line)
+		c.stats.TotalWriteCycles += uint64(latency)
+		return latency, nil
+	}
+	res, werr := c.guard.OnWrite(line, addr)
+	if res.MACComputed {
+		macLat := c.guard.Config().MACLatencyCycles
+		latency += macLat
+		c.stats.WriteMACCycles += uint64(macLat)
+	}
+	if werr != nil {
+		if errors.Is(werr, core.ErrCTBFull) {
+			c.stats.CollisionErrors++
+		}
+		// The data is still stored; the caller decides on re-keying.
+		c.dev.WriteLine(addr, res.Line)
+		c.stats.TotalWriteCycles += uint64(latency)
+		return latency, werr
+	}
+	c.dev.WriteLine(addr, res.Line)
+	c.stats.TotalWriteCycles += uint64(latency)
+	return latency, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ResetStats zeroes the controller counters (post-warm-up).
+func (c *Controller) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,88 @@
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"ptguard/internal/core"
+	"ptguard/internal/pte"
+)
+
+// RekeyStats summarises a full-memory re-key sweep.
+type RekeyStats struct {
+	// LinesScanned is the number of stored DRAM lines visited.
+	LinesScanned int
+	// Remacced is the number of protected lines re-embedded under the
+	// new key.
+	Remacced int
+	// Failures counts protected PTE-pattern lines whose old-key check
+	// failed during the sweep (bit flips surfaced mid-rekey).
+	Failures int
+}
+
+// Rekey performs the §IV-F / §VII-B full-memory re-key: every stored line
+// is read under the old key (verifying and stripping protected lines) and
+// written back under a fresh guard built from newKey. Colliding lines lose
+// their CTB entries naturally: under the new key they are (overwhelmingly
+// likely) no longer colliding. The controller's guard is replaced on
+// success.
+//
+// The sweep is slow by design — the paper invokes it only when the CTB
+// fills up, which requires an active adversary (§VII-B).
+func (c *Controller) Rekey(newKey []byte) (RekeyStats, error) {
+	if c.guard == nil {
+		return RekeyStats{}, errors.New("memctrl: rekey needs a guard")
+	}
+	cfg := c.guard.Config()
+	cfg.Key = newKey
+	next, err := core.NewGuard(cfg)
+	if err != nil {
+		return RekeyStats{}, fmt.Errorf("memctrl: new guard: %w", err)
+	}
+
+	var stats RekeyStats
+	var sweepErr error
+	type pending struct {
+		addr uint64
+		line pte.Line
+	}
+	var updates []pending
+	c.dev.Lines(func(addr uint64, line pte.Line) {
+		if sweepErr != nil {
+			return
+		}
+		stats.LinesScanned++
+		// Read under the old key with data-path semantics: protected
+		// lines verify and strip, everything else passes through.
+		rd := c.guard.OnRead(line, addr, false)
+		if !rd.Stripped {
+			// Not protected under the old key (or a colliding line
+			// forwarded verbatim): rewrite as-is under the new
+			// guard so its collision status is re-evaluated.
+			res, werr := next.OnWrite(line, addr)
+			if werr != nil {
+				sweepErr = werr
+				return
+			}
+			updates = append(updates, pending{addr: addr, line: res.Line})
+			return
+		}
+		res, werr := next.OnWrite(rd.Line, addr)
+		if werr != nil {
+			sweepErr = werr
+			return
+		}
+		if res.Protected {
+			stats.Remacced++
+		}
+		updates = append(updates, pending{addr: addr, line: res.Line})
+	})
+	if sweepErr != nil {
+		return stats, sweepErr
+	}
+	for _, u := range updates {
+		c.dev.WriteLine(u.addr, u.line)
+	}
+	c.guard = next
+	return stats, nil
+}

@@ -1,0 +1,347 @@
+package ostable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ptguard/internal/pte"
+)
+
+// tableLevels is the x86_64 page-table depth.
+const tableLevels = 4
+
+// linesPerTable is the number of cachelines in one 4 KB table page.
+const linesPerTable = pte.PageSize / pte.LineBytes
+
+// PageTables builds and holds one process's 4-level x86_64 page tables in a
+// shadow store of 64-byte lines, exactly as the trusted kernel would write
+// them to memory (unused PFN bits and reserved bits zeroed, so PT-Guard's
+// bit-pattern match succeeds on every table line).
+// Not safe for concurrent use.
+type PageTables struct {
+	alloc *FrameAllocator
+	root  uint64 // physical address of the PML4 page
+
+	// lines maps line-aligned physical addresses to table content for
+	// every allocated table page.
+	lines map[uint64]pte.Line
+	// tablePages records allocated table page frames per level for
+	// profiling and teardown; tablePages[3] are leaf PT pages.
+	tablePages [tableLevels][]uint64
+
+	// owned records data frames whose lifetime is tied to this process
+	// (used by the population synthesiser for teardown).
+	owned []uint64
+
+	// parents maps each non-root table page's base address to the
+	// physical address of the parent entry referencing it, enabling the
+	// §IV-G row-remap recovery.
+	parents map[uint64]uint64
+
+	mapped uint64 // leaf mappings installed
+}
+
+// NewPageTables allocates an empty root table from alloc.
+func NewPageTables(alloc *FrameAllocator) (*PageTables, error) {
+	if alloc == nil {
+		return nil, errors.New("ostable: nil allocator")
+	}
+	p := &PageTables{
+		alloc:   alloc,
+		lines:   make(map[uint64]pte.Line),
+		parents: make(map[uint64]uint64),
+	}
+	rootPFN, err := p.allocTable(0)
+	if err != nil {
+		return nil, err
+	}
+	p.root = rootPFN << pte.PageShift
+	return p, nil
+}
+
+// Root returns the physical address of the PML4 (the CR3 value).
+func (p *PageTables) Root() uint64 { return p.root }
+
+// MappedPages returns the number of installed leaf mappings.
+func (p *PageTables) MappedPages() uint64 { return p.mapped }
+
+// LeafTablePages returns the physical page addresses of all leaf PT pages.
+func (p *PageTables) LeafTablePages() []uint64 {
+	out := make([]uint64, len(p.tablePages[tableLevels-1]))
+	copy(out, p.tablePages[tableLevels-1])
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TablePageCount returns the number of table pages at each level.
+func (p *PageTables) TablePageCount() [tableLevels]int {
+	var n [tableLevels]int
+	for l := range p.tablePages {
+		n[l] = len(p.tablePages[l])
+	}
+	return n
+}
+
+func (p *PageTables) allocTable(level int) (uint64, error) {
+	pfn, err := p.alloc.AllocFrame()
+	if err != nil {
+		return 0, err
+	}
+	base := pfn << pte.PageShift
+	for i := 0; i < linesPerTable; i++ {
+		p.lines[base+uint64(i*pte.LineBytes)] = pte.Line{}
+	}
+	p.tablePages[level] = append(p.tablePages[level], base)
+	return pfn, nil
+}
+
+func (p *PageTables) entry(ea uint64) pte.Entry {
+	line := p.lines[ea&^uint64(pte.LineBytes-1)]
+	return line[ea/8%pte.PTEsPerLine]
+}
+
+func (p *PageTables) setEntry(ea uint64, e pte.Entry) {
+	key := ea &^ uint64(pte.LineBytes-1)
+	line := p.lines[key]
+	line[ea/8%pte.PTEsPerLine] = e
+	p.lines[key] = line
+}
+
+func entryAddress(tableBase, vaddr uint64, level int) uint64 {
+	shift := uint(12 + 9*(tableLevels-1-level))
+	return tableBase + (vaddr>>shift&0x1FF)*8
+}
+
+// tableFlags are the flags the kernel sets on intermediate entries.
+var tableFlags = pte.Entry(0).
+	SetBit(pte.BitPresent, true).
+	SetBit(pte.BitWritable, true).
+	SetBit(pte.BitUserAccessible, true)
+
+// Map installs vaddr -> pfn with the given leaf entry flags, creating
+// intermediate tables on demand.
+func (p *PageTables) Map(vaddr, pfn uint64, flags pte.Entry) error {
+	if vaddr%pte.PageSize != 0 {
+		return fmt.Errorf("ostable: unaligned vaddr %#x", vaddr)
+	}
+	base := p.root
+	for level := 0; level < tableLevels-1; level++ {
+		ea := entryAddress(base, vaddr, level)
+		e := p.entry(ea)
+		if !e.Present() {
+			newPFN, err := p.allocTable(level + 1)
+			if err != nil {
+				return err
+			}
+			e = tableFlags.WithPFN(newPFN)
+			p.setEntry(ea, e)
+			p.parents[newPFN<<pte.PageShift] = ea
+		}
+		base = e.PFN() << pte.PageShift
+	}
+	leafEA := entryAddress(base, vaddr, tableLevels-1)
+	if p.entry(leafEA).Present() {
+		return fmt.Errorf("ostable: vaddr %#x already mapped", vaddr)
+	}
+	p.setEntry(leafEA, flags.SetBit(pte.BitPresent, true).WithPFN(pfn))
+	p.mapped++
+	return nil
+}
+
+// HugePageSize is the 2 MB large-page size (PDE with the PS bit set).
+const HugePageSize = 2 << 20
+
+// hugePFNSpan is the number of 4 KB frames a huge page covers.
+const hugePFNSpan = HugePageSize / pte.PageSize
+
+// MapHuge installs a 2 MB mapping at the PD level (§III notes larger pages
+// reduce page-table-walk frequency). vaddr must be 2 MB aligned and pfn
+// must be the 2 MB-aligned base frame.
+func (p *PageTables) MapHuge(vaddr, pfn uint64, flags pte.Entry) error {
+	if vaddr%HugePageSize != 0 {
+		return fmt.Errorf("ostable: unaligned huge vaddr %#x", vaddr)
+	}
+	if pfn%hugePFNSpan != 0 {
+		return fmt.Errorf("ostable: unaligned huge pfn %#x", pfn)
+	}
+	base := p.root
+	for level := 0; level < tableLevels-2; level++ {
+		ea := entryAddress(base, vaddr, level)
+		e := p.entry(ea)
+		if !e.Present() {
+			newPFN, err := p.allocTable(level + 1)
+			if err != nil {
+				return err
+			}
+			e = tableFlags.WithPFN(newPFN)
+			p.setEntry(ea, e)
+			p.parents[newPFN<<pte.PageShift] = ea
+		}
+		base = e.PFN() << pte.PageShift
+	}
+	pdEA := entryAddress(base, vaddr, tableLevels-2)
+	if p.entry(pdEA).Present() {
+		return fmt.Errorf("ostable: vaddr %#x already mapped", vaddr)
+	}
+	leaf := flags.
+		SetBit(pte.BitPresent, true).
+		SetBit(pte.BitHugePage, true).
+		WithPFN(pfn)
+	p.setEntry(pdEA, leaf)
+	p.mapped += hugePFNSpan
+	return nil
+}
+
+// Translate performs a software walk, mirroring what the hardware walker
+// should conclude. Huge mappings resolve to the covering 4 KB frame.
+func (p *PageTables) Translate(vaddr uint64) (uint64, bool) {
+	base := p.root
+	for level := 0; level < tableLevels; level++ {
+		e := p.entry(entryAddress(base, vaddr&^uint64(pte.PageSize-1), level))
+		if !e.Present() {
+			return 0, false
+		}
+		if level == tableLevels-2 && e.Bit(pte.BitHugePage) {
+			return e.PFN() + vaddr>>pte.PageShift&(hugePFNSpan-1), true
+		}
+		if level == tableLevels-1 {
+			return e.PFN(), true
+		}
+		base = e.PFN() << pte.PageShift
+	}
+	return 0, false
+}
+
+// Remap points an existing 4 KB mapping at a new frame (the kernel moving a
+// page, e.g. during compaction or after a fault). It returns the physical
+// address of the leaf PTE line that changed, so callers can write the
+// updated line back through the memory controller.
+func (p *PageTables) Remap(vaddr, newPFN uint64) (uint64, error) {
+	ea, ok := p.LeafEntryAddr(vaddr)
+	if !ok {
+		return 0, fmt.Errorf("ostable: vaddr %#x not mapped", vaddr)
+	}
+	e := p.entry(ea)
+	if !e.Present() {
+		return 0, fmt.Errorf("ostable: vaddr %#x not present", vaddr)
+	}
+	p.setEntry(ea, e.WithPFN(newPFN))
+	return ea &^ uint64(pte.LineBytes-1), nil
+}
+
+// LineAt returns the architectural content of the table cacheline at addr,
+// ok=false when addr is not a table line of this process.
+func (p *PageTables) LineAt(addr uint64) (pte.Line, bool) {
+	line, ok := p.lines[addr&^uint64(pte.LineBytes-1)]
+	return line, ok
+}
+
+// LeafEntryAddr returns the physical address of the leaf PTE mapping vaddr,
+// ok=false when the walk hits a non-present entry. Attack experiments use
+// it to aim bit-flips at a victim's translation.
+func (p *PageTables) LeafEntryAddr(vaddr uint64) (uint64, bool) {
+	base := p.root
+	va := vaddr &^ uint64(pte.PageSize-1)
+	for level := 0; level < tableLevels-1; level++ {
+		e := p.entry(entryAddress(base, va, level))
+		if !e.Present() {
+			return 0, false
+		}
+		base = e.PFN() << pte.PageShift
+	}
+	return entryAddress(base, va, tableLevels-1), true
+}
+
+// Lines calls fn for every table cacheline (address, content), in
+// unspecified order. Used to flush the tables into simulated DRAM through
+// the memory controller, which embeds the MACs.
+func (p *PageTables) Lines(fn func(addr uint64, line pte.Line)) {
+	for addr, line := range p.lines {
+		fn(addr, line)
+	}
+}
+
+// LeafLines calls fn for every cacheline of every leaf PT page in address
+// order: the PTE lines whose locality Fig. 8 profiles and Fig. 9 corrupts.
+func (p *PageTables) LeafLines(fn func(addr uint64, line pte.Line)) {
+	for _, page := range p.LeafTablePages() {
+		for i := 0; i < linesPerTable; i++ {
+			addr := page + uint64(i*pte.LineBytes)
+			fn(addr, p.lines[addr])
+		}
+	}
+}
+
+// Own ties n data frames starting at pfn to this process's lifetime, so
+// Free returns them to the allocator.
+func (p *PageTables) Own(pfn uint64, n int) {
+	for i := 0; i < n; i++ {
+		p.owned = append(p.owned, pfn+uint64(i))
+	}
+}
+
+// Free releases every table page — and every owned data frame — back to the
+// allocator (process teardown in the streaming population synthesiser).
+func (p *PageTables) Free() {
+	for level := range p.tablePages {
+		for _, page := range p.tablePages[level] {
+			// Errors cannot occur for frames we allocated.
+			_ = p.alloc.FreeOrder(page>>pte.PageShift, 0)
+		}
+		p.tablePages[level] = nil
+	}
+	for _, pfn := range p.owned {
+		_ = p.alloc.FreeOrder(pfn, 0)
+	}
+	p.owned = nil
+	p.lines = make(map[uint64]pte.Line)
+}
+
+// RemapTablePage implements the OS response of §IV-G: after PT-Guard
+// reports bit-flips in a row, the kernel migrates the affected table page
+// to a fresh frame and repoints the parent entry, taking the vulnerable row
+// out of service. It returns the new page base address. The caller must
+// re-flush the process's table lines to memory and shoot down stale TLB/MMU
+// cache state.
+func (p *PageTables) RemapTablePage(oldPage uint64) (uint64, error) {
+	oldPage &^= uint64(pte.PageSize - 1)
+	parentEA, ok := p.parents[oldPage]
+	if !ok {
+		return 0, fmt.Errorf("ostable: %#x is not a remappable table page", oldPage)
+	}
+	newPFN, err := p.alloc.AllocFrame()
+	if err != nil {
+		return 0, err
+	}
+	newPage := newPFN << pte.PageShift
+	// Move the 64 cachelines of content.
+	for i := 0; i < linesPerTable; i++ {
+		off := uint64(i * pte.LineBytes)
+		p.lines[newPage+off] = p.lines[oldPage+off]
+		delete(p.lines, oldPage+off)
+	}
+	// Repoint the parent entry.
+	parent := p.entry(parentEA)
+	p.setEntry(parentEA, parent.WithPFN(newPFN))
+	// Fix bookkeeping: the page's slot in tablePages, its own parent
+	// record, and the parent records of its children (their parent EA
+	// moved with the page).
+	for level := range p.tablePages {
+		for i, page := range p.tablePages[level] {
+			if page == oldPage {
+				p.tablePages[level][i] = newPage
+			}
+		}
+	}
+	delete(p.parents, oldPage)
+	p.parents[newPage] = parentEA
+	for child, ea := range p.parents {
+		if ea >= oldPage && ea < oldPage+pte.PageSize {
+			p.parents[child] = newPage + (ea - oldPage)
+		}
+	}
+	// The poisoned frame stays allocated forever: the kernel quarantines
+	// the vulnerable row rather than returning it to the pool.
+	return newPage, nil
+}

@@ -1,0 +1,89 @@
+package pte
+
+import "fmt"
+
+// ARMv8 level-3 page descriptor bit layout (Table II).
+const (
+	ArmBitValid      = 0
+	ArmBitBlock      = 1
+	ArmBitAccessed   = 10
+	ArmBitCaching    = 11
+	ArmBitReserved50 = 50
+	ArmBitDirty      = 51
+	ArmBitContiguous = 52
+	ArmBitReserved63 = 63
+)
+
+// ARMv8 field masks (Table II). The 40-bit PFN is split: PFN[37:0] lives in
+// bits 49:12 and PFN[39:38] in bits 9:8.
+const (
+	ArmMaskMemAttrs   uint64 = 0xF << 2
+	ArmMaskAccessPerm uint64 = 0x3 << 6
+	ArmMaskPFNHigh    uint64 = 0x3 << 8
+	ArmMaskPFNLow     uint64 = ((1 << 38) - 1) << 12
+	ArmMaskXN         uint64 = 0x3 << 53
+	ArmMaskIgnored    uint64 = 0xF << 55
+	ArmMaskHWAttrs    uint64 = 0xF << 59
+)
+
+// ArmEntry is a single 64-bit ARMv8 page descriptor.
+type ArmEntry uint64
+
+// Valid reports the valid bit.
+func (e ArmEntry) Valid() bool { return e&1 == 1 }
+
+// Accessed reports the access flag.
+func (e ArmEntry) Accessed() bool { return e>>ArmBitAccessed&1 == 1 }
+
+// PFN reassembles the 40-bit PFN from its two fields.
+func (e ArmEntry) PFN() uint64 {
+	low := uint64(e) & ArmMaskPFNLow >> 12
+	high := uint64(e) & ArmMaskPFNHigh >> 8
+	return high<<38 | low
+}
+
+// WithPFN returns a copy of e with both PFN fields replaced.
+func (e ArmEntry) WithPFN(pfn uint64) ArmEntry {
+	v := uint64(e) &^ (ArmMaskPFNLow | ArmMaskPFNHigh)
+	v |= pfn << 12 & ArmMaskPFNLow
+	v |= pfn >> 38 << 8 & ArmMaskPFNHigh
+	return ArmEntry(v)
+}
+
+// FormatARMv8 returns the PT-Guard bit map for ARMv8 descriptors on a
+// machine with physAddrBits of physical address (§IV-F notes the principles
+// apply to any ISA). With at most 1 TB of memory the PFN needs 28 bits, so
+// PFN bits 49:40 and the PFN[39:38] field (bits 9:8) are unused: 12 MAC bits
+// per PTE, exactly as on x86_64. The identifier uses the 4 ignored bits
+// 58:55 plus the two reserved bits 50 and 63 (48-bit identifier per line).
+func FormatARMv8(physAddrBits int) (Format, error) {
+	if physAddrBits <= PageShift || physAddrBits > 40 {
+		return Format{}, fmt.Errorf("pte: physAddrBits %d outside (12, 40]", physAddrBits)
+	}
+	usedPFNBits := physAddrBits - PageShift
+	if usedPFNBits > 28 {
+		// More than 1 TB: fewer than 12 spare bits; PT-Guard targets
+		// client systems below this (§I footnote 1).
+		return Format{}, fmt.Errorf("pte: ARMv8 format needs <=1 TB, got 2^%d bytes", physAddrBits)
+	}
+	pfnMask := (uint64(1)<<usedPFNBits - 1) << 12
+	// MAC occupies a fixed 12 bits per PTE: PFN bits 49:40 plus the
+	// PFN[39:38] field. Bits 39:(12+usedPFNBits), if any, stay ignored
+	// zeros, mirroring Table IV's "39:M" row on x86_64.
+	macMask := uint64(0x3FF)<<40 | ArmMaskPFNHigh
+	flags := uint64(1)<<ArmBitValid | uint64(1)<<ArmBitBlock |
+		ArmMaskMemAttrs | ArmMaskAccessPerm | uint64(1)<<ArmBitCaching |
+		uint64(1)<<ArmBitDirty | uint64(1)<<ArmBitContiguous |
+		ArmMaskXN | ArmMaskHWAttrs
+	ident := ArmMaskIgnored | uint64(1)<<ArmBitReserved50 | uint64(1)<<ArmBitReserved63
+	return Format{
+		Name:           "armv8",
+		PhysAddrBits:   physAddrBits,
+		ProtectedMask:  flags | pfnMask,
+		MACMask:        macMask,
+		IdentifierMask: ident,
+		PFNMask:        pfnMask,
+		FlagsMask:      flags,
+		AccessedMask:   1 << ArmBitAccessed,
+	}, nil
+}

@@ -1,0 +1,116 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, the output format of every cmd/ binary and bench harness.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple titled table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New builds a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	b.WriteString(line(t.Headers) + "\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	b.WriteString(line(sep) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(line(row) + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (headers first, no title).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	var b strings.Builder
+	b.WriteString(csvLine(t.Headers))
+	for _, row := range t.Rows {
+		b.WriteString(csvLine(row))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvLine(cells []string) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		parts[i] = c
+	}
+	return strings.Join(parts, ",") + "\n"
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) + "%" }
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+
+// I formats an integer.
+func I(v int) string { return strconv.Itoa(v) }
+
+// U formats an unsigned counter.
+func U(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tbl := New("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22222")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name ") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "alpha") {
+		t.Errorf("row line = %q", lines[3])
+	}
+}
+
+func TestRenderShortRowPadded(t *testing.T) {
+	tbl := New("", "a", "b", "c")
+	tbl.AddRow("x")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<nil>") {
+		t.Error("padding failed")
+	}
+}
+
+func TestRenderCSVEscapes(t *testing.T) {
+	tbl := New("t", "name", "note")
+	tbl.AddRow(`x,y`, `he said "hi"`)
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestEmptyTableErrors(t *testing.T) {
+	var tbl Table
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err == nil {
+		t.Error("render of column-less table accepted")
+	}
+	if err := tbl.RenderCSV(&sb); err == nil {
+		t.Error("csv of column-less table accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(12.345); got != "12.35%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F(1.5, 1); got != "1.5" {
+		t.Errorf("F = %q", got)
+	}
+	if got := I(-3); got != "-3" {
+		t.Errorf("I = %q", got)
+	}
+	if got := U(7); got != "7" {
+		t.Errorf("U = %q", got)
+	}
+}
+
+func TestRenderAlignsUTF8(t *testing.T) {
+	// Section signs and dashes are multi-byte; columns must align by rune
+	// count, not byte count.
+	tbl := New("", "name", "v")
+	tbl.AddRow("§VI-D", "1")
+	tbl.AddRow("plain", "2")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	col := strings.Index(lines[2], "1")
+	col2 := strings.Index(lines[3], "2")
+	// Compare rune positions of the value column.
+	r1 := len([]rune(lines[2][:col]))
+	r2 := len([]rune(lines[3][:col2]))
+	if r1 != r2 {
+		t.Errorf("value column misaligned: %d vs %d runes\n%s", r1, r2, sb.String())
+	}
+}

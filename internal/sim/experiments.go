@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"ptguard/internal/cpu"
+	"ptguard/internal/stats"
+	"ptguard/internal/workload"
+)
+
+// Comparison holds one workload's results across modes, normalized to the
+// baseline (the Fig. 6/7 measurement unit).
+type Comparison struct {
+	Workload string
+	LLCMPKI  float64
+	Results  map[Mode]Result
+	// SlowdownPct[m] = 100 * (cycles_m/cycles_baseline - 1).
+	SlowdownPct map[Mode]float64
+}
+
+// Compare runs one workload under the baseline and each requested mode with
+// identical seeds and instruction counts. Each run warms caches and TLB for
+// `warmup` instructions before the measured window, mirroring the paper's
+// fast-forward to a representative region (§III).
+func Compare(prof workload.Profile, warmup, instructions int, seed uint64, macLatency int, modes []Mode) (Comparison, error) {
+	if len(modes) == 0 {
+		return Comparison{}, errors.New("sim: no modes requested")
+	}
+	base, err := runOne(Config{Mode: Baseline, Seed: seed}, prof, warmup, instructions)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{
+		Workload:    prof.Name,
+		LLCMPKI:     base.LLCMPKI,
+		Results:     map[Mode]Result{Baseline: base},
+		SlowdownPct: map[Mode]float64{},
+	}
+	for _, m := range modes {
+		if m == Baseline {
+			continue
+		}
+		r, rerr := runOne(Config{Mode: m, Seed: seed, MACLatencyCycles: macLatency}, prof, warmup, instructions)
+		if rerr != nil {
+			return Comparison{}, fmt.Errorf("%s/%s: %w", prof.Name, m, rerr)
+		}
+		cmp.Results[m] = r
+		cmp.SlowdownPct[m] = 100 * (r.Cycles/base.Cycles - 1)
+	}
+	return cmp, nil
+}
+
+func runOne(cfg Config, prof workload.Profile, warmup, instructions int) (Result, error) {
+	s, err := NewSystem(cfg, prof)
+	if err != nil {
+		return Result{}, err
+	}
+	if warmup > 0 {
+		if _, err := s.Run(warmup); err != nil {
+			return Result{}, err
+		}
+		s.ResetStats()
+	}
+	return s.Run(instructions)
+}
+
+// SuiteSummary aggregates per-workload slowdowns (Fig. 6/7's GMEAN/AMEAN
+// rows and worst case).
+type SuiteSummary struct {
+	Mode        Mode
+	MeanPct     float64
+	GeoMeanIPC  float64 // geometric mean of normalized IPC
+	WorstPct    float64
+	WorstName   string
+	PerWorkload []Comparison
+}
+
+// Summarize reduces comparisons for one mode.
+func Summarize(cmps []Comparison, mode Mode) (SuiteSummary, error) {
+	if len(cmps) == 0 {
+		return SuiteSummary{}, errors.New("sim: no comparisons")
+	}
+	sl := make([]float64, len(cmps))
+	normIPC := make([]float64, len(cmps))
+	sum := SuiteSummary{Mode: mode, PerWorkload: cmps}
+	for i, c := range cmps {
+		s, ok := c.SlowdownPct[mode]
+		if !ok {
+			return SuiteSummary{}, fmt.Errorf("sim: %s missing mode %s", c.Workload, mode)
+		}
+		sl[i] = s
+		normIPC[i] = 1 / (1 + s/100)
+		if s > sum.WorstPct || i == 0 {
+			sum.WorstPct, sum.WorstName = s, c.Workload
+		}
+	}
+	var err error
+	if sum.MeanPct, err = stats.Mean(sl); err != nil {
+		return SuiteSummary{}, err
+	}
+	if sum.GeoMeanIPC, err = stats.GeoMean(normIPC); err != nil {
+		return SuiteSummary{}, err
+	}
+	return sum, nil
+}
+
+// MulticoreMix is one 4-core workload mix (§VII-C: SAME runs four copies of
+// one benchmark, MIX runs four different ones).
+type MulticoreMix struct {
+	Name      string
+	Workloads []workload.Profile
+}
+
+// MulticoreResult reports one mix's slowdown.
+type MulticoreResult struct {
+	Mix         string
+	SlowdownPct float64
+}
+
+// MulticoreContention is the extra queueing delay per access when four
+// cores share the channel (§VII-C: higher base memory latency is one of the
+// two effects that shrink PT-Guard's relative overhead).
+const MulticoreContention = 120
+
+// CompareMulticore runs a 4-core mix in the §VII-C model: out-of-order
+// cores (MLP hides part of each miss) and a contended shared channel. The
+// PT-Guard configuration is the base design, charging the MAC latency on
+// all DRAM reads, as in the paper's multicore evaluation.
+func CompareMulticore(mix MulticoreMix, warmup, instrPerCore int, seed uint64, macLatency int) (MulticoreResult, error) {
+	if len(mix.Workloads) == 0 {
+		return MulticoreResult{}, errors.New("sim: empty mix")
+	}
+	var baseCycles, guardCycles float64
+	for i, prof := range mix.Workloads {
+		coreSeed := seed + uint64(i)*977
+		mkCfg := func(mode Mode) Config {
+			return Config{
+				Mode:             mode,
+				Seed:             coreSeed,
+				MACLatencyCycles: macLatency,
+				Core:             cpu.OutOfOrder(),
+				ContentionCycles: MulticoreContention,
+			}
+		}
+		base, err := runOne(mkCfg(Baseline), prof, warmup, instrPerCore)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		guard, err := runOne(mkCfg(PTGuard), prof, warmup, instrPerCore)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		baseCycles += base.Cycles
+		guardCycles += guard.Cycles
+	}
+	return MulticoreResult{
+		Mix:         mix.Name,
+		SlowdownPct: 100 * (guardCycles/baseCycles - 1),
+	}, nil
+}
+
+// multicoreCore returns the §VII-C out-of-order core configuration.
+func multicoreCore() cpu.Config { return cpu.OutOfOrder() }

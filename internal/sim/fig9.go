@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"errors"
+
+	"ptguard/internal/core"
+	"ptguard/internal/dram"
+	"ptguard/internal/mac"
+	"ptguard/internal/pte"
+	"ptguard/internal/stats"
+	"ptguard/internal/workload"
+)
+
+// TraceCorrectionConfig parameterises the trace-driven Fig. 9 experiment:
+// the paper's exact methodology of extracting page-table-walk traces from
+// the full-system simulation and flipping each bit of the traced PTE
+// cachelines with uniform probability (§VI-F).
+type TraceCorrectionConfig struct {
+	// Workload is the benchmark whose walk trace feeds the experiment.
+	Workload string
+	// Instructions is the trace-collection window.
+	Instructions int
+	// FlipProb is the per-bit fault probability.
+	FlipProb float64
+	// Trials is the number of faulty-line trials to run (the trace is
+	// cycled as needed).
+	Trials int
+	// Seed drives the whole experiment.
+	Seed uint64
+}
+
+// TraceCorrectionResult mirrors the Fig. 9 quantities for a walk trace.
+type TraceCorrectionResult struct {
+	TraceLines   int // distinct PTE lines in the trace
+	WalkAccesses int // total traced DRAM-level PTE fetches
+	Erroneous    int
+	Corrected    int
+	Detected     int
+	Miscorrected int
+}
+
+// CorrectedPct returns corrected / erroneous.
+func (r TraceCorrectionResult) CorrectedPct() float64 {
+	if r.Erroneous == 0 {
+		return 0
+	}
+	return 100 * float64(r.Corrected) / float64(r.Erroneous)
+}
+
+// CoveragePct returns (corrected + detected) / erroneous.
+func (r TraceCorrectionResult) CoveragePct() float64 {
+	if r.Erroneous == 0 {
+		return 0
+	}
+	return 100 * float64(r.Corrected+r.Detected) / float64(r.Erroneous)
+}
+
+// RunTraceCorrection executes the §VI-F pipeline end to end: run the
+// workload on the guarded system recording its page-table-walk trace, then
+// replay fault injections over the traced PTE cachelines through a
+// correction-enabled guard.
+func RunTraceCorrection(cfg TraceCorrectionConfig) (TraceCorrectionResult, error) {
+	if cfg.FlipProb <= 0 || cfg.FlipProb >= 1 {
+		return TraceCorrectionResult{}, errors.New("sim: FlipProb outside (0, 1)")
+	}
+	if cfg.Trials <= 0 || cfg.Instructions <= 0 {
+		return TraceCorrectionResult{}, errors.New("sim: Trials and Instructions must be positive")
+	}
+	prof, err := workload.ProfileByName(cfg.Workload)
+	if err != nil {
+		return TraceCorrectionResult{}, err
+	}
+	s, err := NewSystem(Config{Mode: PTGuard, Seed: cfg.Seed, TraceWalks: true}, prof)
+	if err != nil {
+		return TraceCorrectionResult{}, err
+	}
+	if _, err := s.Run(cfg.Instructions); err != nil {
+		return TraceCorrectionResult{}, err
+	}
+	trace := s.WalkTrace()
+	if len(trace) == 0 {
+		return TraceCorrectionResult{}, errors.New("sim: empty walk trace")
+	}
+	// Distinct traced lines, in first-touch order.
+	seen := make(map[uint64]bool, len(trace))
+	lines := make([]uint64, 0, len(trace))
+	for _, a := range trace {
+		if !seen[a] {
+			seen[a] = true
+			lines = append(lines, a)
+		}
+	}
+
+	// A fresh correction-enabled guard replays the trace; the DRAM images
+	// are re-protected under it so verification matches.
+	format, err := pte.FormatX86(40)
+	if err != nil {
+		return TraceCorrectionResult{}, err
+	}
+	key := make([]byte, mac.KeySize)
+	kr := stats.NewRNG(cfg.Seed ^ 0x916)
+	for i := range key {
+		key[i] = byte(kr.Uint64())
+	}
+	guard, err := core.NewGuard(core.Config{
+		Format:           format,
+		Key:              key,
+		EnableCorrection: true,
+		SoftMatchK:       4,
+	})
+	if err != nil {
+		return TraceCorrectionResult{}, err
+	}
+	hmr, err := dram.NewHammerer(s.Device(), dram.HammerConfig{Seed: cfg.Seed ^ 0xFA9})
+	if err != nil {
+		return TraceCorrectionResult{}, err
+	}
+
+	res := TraceCorrectionResult{TraceLines: len(lines), WalkAccesses: len(trace)}
+	dev := s.Device()
+	for i := 0; res.Erroneous < cfg.Trials; i++ {
+		addr := lines[i%len(lines)]
+		arch, ok := s.Tables().LineAt(addr)
+		if !ok {
+			continue
+		}
+		w, werr := guard.OnWrite(arch, addr)
+		if werr != nil || !w.Protected {
+			continue
+		}
+		dev.WriteLine(addr, w.Line)
+		if hmr.InjectLineFaults(addr, cfg.FlipProb) == 0 {
+			continue
+		}
+		res.Erroneous++
+		rd := guard.OnRead(dev.ReadLine(addr), addr, true)
+		switch {
+		case rd.CheckFailed:
+			res.Detected++
+		case payloadEqual(rd.Line, arch, format):
+			res.Corrected++
+		default:
+			res.Miscorrected++
+		}
+	}
+	return res, nil
+}
+
+func payloadEqual(got, want pte.Line, f pte.Format) bool {
+	for i := range got {
+		if uint64(got[i])&f.ProtectedMask != uint64(want[i])&f.ProtectedMask {
+			return false
+		}
+	}
+	return true
+}

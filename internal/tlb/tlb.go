@@ -1,0 +1,104 @@
+// Package tlb models the address-translation hardware of the baseline
+// system (Table III): a 64-entry fully-associative TLB, an 8 KB 4-way MMU
+// (page-walk) cache, and the 4-level x86_64 page-table walker that issues
+// the tagged isPTE memory reads PT-Guard verifies.
+package tlb
+
+import "fmt"
+
+// DefaultEntries is the TLB capacity (Table III).
+const DefaultEntries = 64
+
+type tlbEntry struct {
+	vpn     uint64
+	pfn     uint64
+	span    uint64 // pages covered: 1 for 4 KB entries, 512 for 2 MB
+	valid   bool
+	lastUse uint64
+}
+
+// TLB is a fully-associative, LRU translation lookaside buffer.
+// Not safe for concurrent use.
+type TLB struct {
+	entries []tlbEntry
+	clock   uint64
+
+	hits, misses uint64
+}
+
+// New builds a TLB with the given capacity (0 selects 64).
+func New(entries int) (*TLB, error) {
+	if entries == 0 {
+		entries = DefaultEntries
+	}
+	if entries < 0 {
+		return nil, fmt.Errorf("tlb: negative capacity %d", entries)
+	}
+	return &TLB{entries: make([]tlbEntry, entries)}, nil
+}
+
+// Lookup translates a virtual page number; ok is false on a TLB miss.
+// Spanned (huge-page) entries translate every page they cover.
+func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
+	t.clock++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && vpn-e.vpn < e.span {
+			e.lastUse = t.clock
+			t.hits++
+			return e.pfn + (vpn - e.vpn), true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert installs a 4 KB translation, evicting the LRU entry if full.
+func (t *TLB) Insert(vpn, pfn uint64) { t.InsertSpan(vpn, pfn, 1) }
+
+// InsertSpan installs a translation covering span consecutive pages (512
+// for a 2 MB huge-page entry), evicting the LRU entry if full.
+func (t *TLB) InsertSpan(vpn, pfn, span uint64) {
+	if span == 0 {
+		span = 1
+	}
+	t.clock++
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].lastUse < t.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	t.entries[victim] = tlbEntry{vpn: vpn, pfn: pfn, span: span, valid: true, lastUse: t.clock}
+}
+
+// Flush invalidates every entry (context switch / shootdown).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+}
+
+// Stats reports hit/miss counts.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// Stats returns a snapshot.
+func (t *TLB) Stats() Stats { return Stats{Hits: t.hits, Misses: t.misses} }
+
+// MissRate returns misses/lookups (0 when idle).
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// ResetStats zeroes the hit/miss counters but keeps the entries.
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }

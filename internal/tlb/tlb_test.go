@@ -1,0 +1,250 @@
+package tlb
+
+import (
+	"testing"
+
+	"ptguard/internal/pte"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tl, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tl.Lookup(5); ok {
+		t.Error("cold lookup hit")
+	}
+	tl.Insert(5, 0x123)
+	pfn, ok := tl.Lookup(5)
+	if !ok || pfn != 0x123 {
+		t.Errorf("lookup = %#x,%v", pfn, ok)
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tl, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 4; v++ {
+		tl.Insert(v, v*10)
+	}
+	tl.Lookup(0) // refresh vpn 0
+	tl.Insert(4, 40)
+	if _, ok := tl.Lookup(0); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := tl.Lookup(1); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tl, _ := New(8)
+	tl.Insert(1, 2)
+	tl.Flush()
+	if _, ok := tl.Lookup(1); ok {
+		t.Error("entry survived flush")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewWalker(nil); err == nil {
+		t.Error("nil reader accepted")
+	}
+}
+
+// fakeMemory backs the walker with a simple 4-level page table for one
+// virtual page.
+type fakeMemory struct {
+	lines map[uint64]pte.Line
+	reads int
+	fail  map[uint64]bool
+}
+
+func newFakeMemory() *fakeMemory {
+	return &fakeMemory{lines: make(map[uint64]pte.Line), fail: make(map[uint64]bool)}
+}
+
+func (m *fakeMemory) setEntry(ea uint64, e pte.Entry) {
+	lineAddr := ea &^ uint64(pte.LineBytes-1)
+	line := m.lines[lineAddr]
+	line[ea/8%pte.PTEsPerLine] = e
+	m.lines[lineAddr] = line
+}
+
+func (m *fakeMemory) read(addr uint64) (pte.Line, bool) {
+	m.reads++
+	if m.fail[addr] {
+		return pte.Line{}, false
+	}
+	return m.lines[addr], true
+}
+
+// buildMapping wires cr3 -> tables at 0x10000/0x20000/0x30000 -> leafPFN for
+// the given vaddr.
+func buildMapping(m *fakeMemory, cr3, vaddr, leafPFN uint64) {
+	present := pte.Entry(0).SetBit(pte.BitPresent, true)
+	bases := []uint64{cr3, 0x10000, 0x20000, 0x30000}
+	for level := 0; level < Levels-1; level++ {
+		m.setEntry(entryAddr(bases[level], vaddr, level), present.WithPFN(bases[level+1]>>pte.PageShift))
+	}
+	m.setEntry(entryAddr(bases[Levels-1], vaddr, Levels-1), present.WithPFN(leafPFN))
+}
+
+func TestWalkTranslates(t *testing.T) {
+	m := newFakeMemory()
+	const cr3, vaddr, leaf = 0x1000, 0x7f1234567000, 0xABCDE
+	buildMapping(m, cr3, vaddr, leaf)
+	w, err := NewWalker(m.read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Walk(cr3, vaddr)
+	if res.Fault || res.CheckFailed {
+		t.Fatalf("walk failed: %+v", res)
+	}
+	if res.PFN != leaf {
+		t.Errorf("PFN = %#x, want %#x", res.PFN, leaf)
+	}
+	if res.MemAccesses != Levels {
+		t.Errorf("cold walk accesses = %d, want %d", res.MemAccesses, Levels)
+	}
+}
+
+func TestWalkUsesMMUCache(t *testing.T) {
+	m := newFakeMemory()
+	const cr3, vaddr, leaf = 0x1000, 0x7f1234567000, 0xABCDE
+	buildMapping(m, cr3, vaddr, leaf)
+	w, _ := NewWalker(m.read)
+	w.Walk(cr3, vaddr)
+	// Second walk of the same page: upper levels hit the MMU cache, only
+	// the leaf goes to memory.
+	res := w.Walk(cr3, vaddr)
+	if res.MemAccesses != 1 {
+		t.Errorf("warm walk accesses = %d, want 1", res.MemAccesses)
+	}
+	if w.Stats().MMUHits != Levels-1 {
+		t.Errorf("MMU hits = %d, want %d", w.Stats().MMUHits, Levels-1)
+	}
+}
+
+func TestWalkFaultsOnNonPresent(t *testing.T) {
+	m := newFakeMemory()
+	w, _ := NewWalker(m.read)
+	res := w.Walk(0x1000, 0x5000)
+	if !res.Fault {
+		t.Error("walk of unmapped address did not fault")
+	}
+}
+
+func TestWalkAbortsOnCheckFailure(t *testing.T) {
+	m := newFakeMemory()
+	const cr3, vaddr, leaf = 0x1000, 0x7f1234567000, 0xABCDE
+	buildMapping(m, cr3, vaddr, leaf)
+	// Fail the leaf PTE line read (integrity exception).
+	leafEA := entryAddr(0x30000, vaddr, Levels-1) &^ uint64(pte.LineBytes-1)
+	m.fail[leafEA] = true
+	w, _ := NewWalker(m.read)
+	res := w.Walk(cr3, vaddr)
+	if !res.CheckFailed {
+		t.Fatal("integrity failure not propagated")
+	}
+	if res.PFN != 0 {
+		t.Error("translation leaked despite CheckFailed")
+	}
+	if w.Stats().CheckFailures != 1 {
+		t.Error("CheckFailures counter wrong")
+	}
+}
+
+func TestInvalidateEntryForcesRefetch(t *testing.T) {
+	m := newFakeMemory()
+	const cr3, vaddr, leaf = 0x1000, 0x7f1234567000, 0xABCDE
+	buildMapping(m, cr3, vaddr, leaf)
+	w, _ := NewWalker(m.read)
+	w.Walk(cr3, vaddr)
+	ea := entryAddr(cr3, vaddr, 0)
+	w.InvalidateEntry(ea)
+	res := w.Walk(cr3, vaddr)
+	if res.MemAccesses != 2 { // PML4 refetch + leaf
+		t.Errorf("post-invalidate accesses = %d, want 2", res.MemAccesses)
+	}
+}
+
+func TestEntryAddrIndexing(t *testing.T) {
+	// vaddr bit slices: 47:39, 38:30, 29:21, 20:12.
+	vaddr := uint64(0x0000_FFFF_FFFF_F000) // bits 47:12 all set
+	for level := 0; level < Levels; level++ {
+		ea := entryAddr(0, vaddr, level)
+		if ea != 511*8 {
+			t.Errorf("level %d entry addr = %#x, want %#x", level, ea, 511*8)
+		}
+	}
+	if got := entryAddr(0x2000, 0, 0); got != 0x2000 {
+		t.Errorf("index 0 entry addr = %#x", got)
+	}
+}
+
+func TestWalkHugePage(t *testing.T) {
+	m := newFakeMemory()
+	const cr3, vaddr = 0x1000, 0x7f40_0020_3000
+	present := pte.Entry(0).SetBit(pte.BitPresent, true)
+	// PML4 -> PDPT -> PDE(huge).
+	m.setEntry(entryAddr(cr3, vaddr, 0), present.WithPFN(0x10000>>pte.PageShift))
+	m.setEntry(entryAddr(0x10000, vaddr, 1), present.WithPFN(0x20000>>pte.PageShift))
+	huge := present.SetBit(pte.BitHugePage, true).WithPFN(0x80000)
+	m.setEntry(entryAddr(0x20000, vaddr, 2), huge)
+
+	w, err := NewWalker(m.read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Walk(cr3, vaddr)
+	if res.Fault || res.CheckFailed {
+		t.Fatalf("huge walk failed: %+v", res)
+	}
+	want := uint64(0x80000) + vaddr>>pte.PageShift&0x1FF
+	if res.PFN != want {
+		t.Errorf("PFN = %#x, want %#x", res.PFN, want)
+	}
+	if res.MemAccesses != 3 {
+		t.Errorf("huge walk accesses = %d, want 3 (one level shorter)", res.MemAccesses)
+	}
+}
+
+func TestTLBSpannedEntry(t *testing.T) {
+	tl, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2 MB entry: 512 pages from VPN 0x200 -> PFN 0x80000.
+	tl.InsertSpan(0x200, 0x80000, 512)
+	for _, off := range []uint64{0, 1, 511} {
+		pfn, ok := tl.Lookup(0x200 + off)
+		if !ok || pfn != 0x80000+off {
+			t.Fatalf("Lookup(+%d) = %#x,%v", off, pfn, ok)
+		}
+	}
+	if _, ok := tl.Lookup(0x200 + 512); ok {
+		t.Error("lookup beyond the span hit")
+	}
+	if _, ok := tl.Lookup(0x1FF); ok {
+		t.Error("lookup below the span hit")
+	}
+	// Zero span defaults to one page.
+	tl.InsertSpan(0x900, 0x1, 0)
+	if _, ok := tl.Lookup(0x900); !ok {
+		t.Error("zero-span insert unusable")
+	}
+}

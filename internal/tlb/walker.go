@@ -1,0 +1,154 @@
+package tlb
+
+import (
+	"errors"
+
+	"ptguard/internal/cache"
+	"ptguard/internal/pte"
+)
+
+// Levels is the x86_64 page-table depth: PML4, PDPT, PD, PT.
+const Levels = 4
+
+// LineReader fetches a PTE cacheline from the memory system (through the
+// cache hierarchy and the PT-Guard-instrumented memory controller). ok is
+// false when the integrity check failed and the line was not forwarded.
+type LineReader func(physAddr uint64) (line pte.Line, ok bool)
+
+// Walker performs hardware page-table walks. Entries of the three upper
+// levels are cached in the MMU cache (8 KB, 4-way; Table III) so repeated
+// walks skip their memory accesses.
+// Not safe for concurrent use.
+type Walker struct {
+	mmu    *cache.Cache
+	values map[uint64]pte.Entry // entry values backing MMU-cache presence
+	read   LineReader
+
+	walks, memAccesses, mmuHits uint64
+	checkFailures               uint64
+}
+
+// NewWalker builds a walker over the given line reader.
+func NewWalker(read LineReader) (*Walker, error) {
+	if read == nil {
+		return nil, errors.New("tlb: nil line reader")
+	}
+	mmu, err := cache.New(cache.MMUConfig)
+	if err != nil {
+		return nil, err
+	}
+	return &Walker{mmu: mmu, values: make(map[uint64]pte.Entry), read: read}, nil
+}
+
+// WalkResult describes one page-table walk.
+type WalkResult struct {
+	// PFN is the translated frame number (valid when !Fault && !CheckFailed).
+	PFN uint64
+	// Entry is the leaf PTE.
+	Entry pte.Entry
+	// MemAccesses counts PTE-line reads issued past the MMU cache.
+	MemAccesses int
+	// Fault reports a non-present entry at some level.
+	Fault bool
+	// CheckFailed reports a PT-Guard integrity exception: the walk
+	// aborted and no translation may be consumed (§IV-F).
+	CheckFailed bool
+}
+
+// entryAddr returns the physical address of the level's entry for vaddr.
+// level 0 is the PML4, level 3 the leaf page table.
+func entryAddr(tableBase, vaddr uint64, level int) uint64 {
+	shift := uint(12 + 9*(Levels-1-level))
+	index := vaddr >> shift & 0x1FF
+	return tableBase + index*8
+}
+
+// Walk translates vaddr starting from the root table at cr3.
+func (w *Walker) Walk(cr3, vaddr uint64) WalkResult {
+	w.walks++
+	res := WalkResult{}
+	base := cr3
+	for level := 0; level < Levels; level++ {
+		ea := entryAddr(base, vaddr, level)
+		var entry pte.Entry
+		// Upper levels consult the MMU cache; the leaf level always
+		// goes to the memory system (it is what the TLB caches).
+		if level < Levels-1 && w.mmu.Access(ea, false).Hit {
+			if v, ok := w.values[ea]; ok {
+				w.mmuHits++
+				entry = v
+			} else {
+				// Presence without a value (stale after an
+				// invalidation); fall through to memory.
+				e, ok := w.fetchEntry(ea, &res)
+				if !ok {
+					return res
+				}
+				entry = e
+			}
+		} else {
+			e, ok := w.fetchEntry(ea, &res)
+			if !ok {
+				return res
+			}
+			entry = e
+			if level < Levels-1 {
+				w.values[ea] = entry
+			}
+		}
+		if !entry.Present() {
+			res.Fault = true
+			return res
+		}
+		if level == Levels-2 && entry.Bit(pte.BitHugePage) {
+			// 2 MB page: the PDE is the leaf; the walk is one level
+			// shorter (why large pages reduce walk cost, §III).
+			res.Entry = entry
+			res.PFN = entry.PFN() + vaddr>>pte.PageShift&0x1FF
+			return res
+		}
+		if level == Levels-1 {
+			res.Entry = entry
+			res.PFN = entry.PFN()
+			return res
+		}
+		base = entry.PFN() << pte.PageShift
+	}
+	res.Fault = true
+	return res
+}
+
+// fetchEntry reads the PTE line containing ea through the memory system and
+// extracts the 8-byte entry. ok=false aborts the walk on an integrity
+// exception.
+func (w *Walker) fetchEntry(ea uint64, res *WalkResult) (pte.Entry, bool) {
+	res.MemAccesses++
+	w.memAccesses++
+	line, ok := w.read(ea &^ uint64(pte.LineBytes-1))
+	if !ok {
+		w.checkFailures++
+		res.CheckFailed = true
+		return 0, false
+	}
+	return line[ea/8%pte.PTEsPerLine], true
+}
+
+// InvalidateEntry drops a cached upper-level entry (e.g. after the OS
+// rewrites a page table).
+func (w *Walker) InvalidateEntry(ea uint64) {
+	w.mmu.Invalidate(ea)
+	delete(w.values, ea)
+}
+
+// WalkerStats summarises walker activity.
+type WalkerStats struct {
+	Walks, MemAccesses, MMUHits, CheckFailures uint64
+}
+
+// Stats returns a snapshot.
+func (w *Walker) Stats() WalkerStats {
+	return WalkerStats{
+		Walks: w.walks, MemAccesses: w.memAccesses,
+		MMUHits: w.mmuHits, CheckFailures: w.checkFailures,
+	}
+}

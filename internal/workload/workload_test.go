@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ptguard/internal/pte"
+)
+
+func TestProfilesMatchPaperRoster(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 25 {
+		t.Fatalf("profiles = %d, want 25 (20 SPEC + 5 GAP)", len(ps))
+	}
+	spec, gap := 0, 0
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Suite {
+		case "SPEC":
+			spec++
+		case "GAP":
+			gap++
+		default:
+			t.Errorf("%s: unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if spec != 20 || gap != 5 {
+		t.Errorf("suite split = %d SPEC / %d GAP, want 20/5", spec, gap)
+	}
+	// §III excludes gcc, blender, parest.
+	for _, excluded := range []string{"gcc", "blender", "parest"} {
+		if seen[excluded] {
+			t.Errorf("%s must be excluded per §III", excluded)
+		}
+	}
+	// Fig. 6: xalancbmk is the highest-MPKI workload at 29.
+	x, err := ProfileByName("xalancbmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.TargetMPKI != 29.0 {
+		t.Errorf("xalancbmk MPKI = %v, want 29", x.TargetMPKI)
+	}
+	for _, p := range ps {
+		if p.TargetMPKI > x.TargetMPKI {
+			t.Errorf("%s MPKI %v exceeds xalancbmk", p.Name, p.TargetMPKI)
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("doom"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestProfileInvariants(t *testing.T) {
+	for _, p := range Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			if p.HotFraction <= 0 || p.HotFraction >= 1 {
+				t.Errorf("HotFraction = %v outside (0,1)", p.HotFraction)
+			}
+			// Footprint must exceed the 2 MB LLC so the streaming
+			// share misses (the calibration's premise).
+			if p.FootprintPages*pte.PageSize <= 2<<20 {
+				t.Errorf("footprint %d pages does not exceed the LLC", p.FootprintPages)
+			}
+			// Derived MPKI identity.
+			implied := 1000 * p.MemRefFrac * (1 - p.HotFraction)
+			if math.Abs(implied-p.TargetMPKI) > 1e-9 {
+				t.Errorf("implied MPKI %v != target %v", implied, p.TargetMPKI)
+			}
+		})
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := Profile{FootprintPages: 0, HotPages: 1, MemRefFrac: 0.5}
+	if _, err := NewGenerator(bad, 0, 1); err == nil {
+		t.Error("empty footprint accepted")
+	}
+	bad = Profile{FootprintPages: 10, HotPages: 20, MemRefFrac: 0.5}
+	if _, err := NewGenerator(bad, 0, 1); err == nil {
+		t.Error("hot > footprint accepted")
+	}
+	bad = Profile{FootprintPages: 10, HotPages: 5, MemRefFrac: 0}
+	if _, err := NewGenerator(bad, 0, 1); err == nil {
+		t.Error("zero MemRefFrac accepted")
+	}
+}
+
+func TestGeneratorStaysInFootprint(t *testing.T) {
+	prof, err := ProfileByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const vbase = 0x10000000000
+	g, err := NewGenerator(prof, vbase, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := vbase + g.FootprintBytes()
+	for i := 0; i < 100000; i++ {
+		r := g.Next()
+		if r.VAddr < vbase || r.VAddr >= end {
+			t.Fatalf("ref %#x outside [%#x, %#x)", r.VAddr, vbase, end)
+		}
+		if r.VAddr%pte.LineBytes != 0 {
+			t.Fatalf("ref %#x not line aligned", r.VAddr)
+		}
+	}
+}
+
+func TestGeneratorRates(t *testing.T) {
+	prof, _ := ProfileByName("xalancbmk")
+	g, _ := NewGenerator(prof, 0x2000000000, 3)
+	const n = 200000
+	memRefs, writes := 0, 0
+	for i := 0; i < n; i++ {
+		if g.IsMemRef() {
+			memRefs++
+		}
+		if g.Next().Write {
+			writes++
+		}
+	}
+	memRate := float64(memRefs) / n
+	if math.Abs(memRate-prof.MemRefFrac) > 0.01 {
+		t.Errorf("mem ref rate = %v, want %v", memRate, prof.MemRefFrac)
+	}
+	writeRate := float64(writes) / n
+	if math.Abs(writeRate-prof.WriteFrac) > 0.01 {
+		t.Errorf("write rate = %v, want %v", writeRate, prof.WriteFrac)
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	prof, _ := ProfileByName("lbm")
+	a, _ := NewGenerator(prof, 0, 11)
+	b, _ := NewGenerator(prof, 0, 11)
+	c, _ := NewGenerator(prof, 0, 12)
+	diff := false
+	for i := 0; i < 1000; i++ {
+		ra, rb, rc := a.Next(), b.Next(), c.Next()
+		if ra != rb {
+			t.Fatal("same seed diverged")
+		}
+		if ra != rc {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}

@@ -1,0 +1,65 @@
+// Suite-level integration test: the full Fig. 6 experiment across all 25
+// workloads. Skipped under -short; the per-workload tests in internal/sim
+// cover the mechanics quickly.
+package ptguard
+
+import (
+	"testing"
+
+	"ptguard/internal/sim"
+	"ptguard/internal/workload"
+)
+
+func TestFig6FullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 25-workload sweep; run without -short")
+	}
+	const (
+		warmup = 120_000
+		instr  = 240_000
+		seed   = 42
+	)
+	modes := []sim.Mode{sim.PTGuard, sim.PTGuardOptimized}
+	cmps := make([]sim.Comparison, 0, 25)
+	for _, prof := range workload.Profiles() {
+		cmp, err := sim.Compare(prof, warmup, instr, seed, 10, modes)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		cmps = append(cmps, cmp)
+		// Invariants per workload: protection never speeds things up
+		// beyond noise, never blows past the paper's envelope, and the
+		// optimized design is never slower than the base design.
+		base := cmp.SlowdownPct[sim.PTGuard]
+		opt := cmp.SlowdownPct[sim.PTGuardOptimized]
+		if base < -0.2 || base > 6 {
+			t.Errorf("%s: PT-Guard slowdown %.2f%% outside [-0.2, 6]", prof.Name, base)
+		}
+		if opt > base+0.2 {
+			t.Errorf("%s: optimized (%.2f%%) slower than base (%.2f%%)", prof.Name, opt, base)
+		}
+		if cmp.Results[sim.PTGuard].CheckFails != 0 {
+			t.Errorf("%s: spurious integrity failures", prof.Name)
+		}
+	}
+	base, err := sim.Summarize(cmps, sim.PTGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := sim.Summarize(cmps, sim.PTGuardOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Fig 6: PT-Guard AMEAN %.2f%% (paper 1.3%%), worst %s %.2f%% (paper xalancbmk 3.6%%); optimized AMEAN %.2f%% (paper 0.2%%)",
+		base.MeanPct, base.WorstName, base.WorstPct, opt.MeanPct)
+	// The headline reproduction bands.
+	if base.MeanPct < 0.6 || base.MeanPct > 2.2 {
+		t.Errorf("AMEAN slowdown %.2f%% outside the paper's band (~1.3%%)", base.MeanPct)
+	}
+	if base.WorstName != "xalancbmk" {
+		t.Errorf("worst workload = %s, want xalancbmk", base.WorstName)
+	}
+	if opt.MeanPct > 0.5 {
+		t.Errorf("optimized AMEAN %.2f%% above the paper's 0.2%% band", opt.MeanPct)
+	}
+}
