@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# ci is the gate every change must pass.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The harness fans jobs out over goroutines and the simulators it drives
+# must stay data-race-free; run those packages under the race detector.
+race:
+	$(GO) test -race ./internal/harness/... ./internal/sim/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$

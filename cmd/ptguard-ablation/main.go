@@ -1,15 +1,16 @@
 // Command ptguard-ablation runs the design-choice ablations of DESIGN.md §5:
 // the contribution of each §VI-D correction guess strategy, the soft-match
 // budget k trade-off, and the 96-bit vs 64-bit MAC design point (§VII-A).
+// Configurations fan out over the internal/harness worker pool.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"ptguard/internal/attack"
-	"ptguard/internal/mac"
+	"ptguard/internal/harness"
 	"ptguard/internal/report"
 )
 
@@ -22,94 +23,54 @@ func main() {
 
 func run() error {
 	var (
-		lines = flag.Int("lines", 400, "faulty lines per configuration")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		prob  = flag.Float64("p", 1.0/128, "per-bit flip probability")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables")
+		lines   = flag.Int("lines", 400, "faulty lines per configuration")
+		seed    = flag.Uint64("seed", 42, "campaign seed (per-job seeds derive from it)")
+		prob    = flag.Float64("p", 1.0/128, "per-bit flip probability")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of tables")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	render := func(t *report.Table) error {
-		if *csv {
-			return t.RenderCSV(os.Stdout)
+	spec := harness.AblationSpec{Lines: *lines, FlipProb: *prob}
+	jobs, err := spec.Jobs(*seed)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.Run(context.Background(), jobs, harness.Options{
+		Workers:  *workers,
+		Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return err
+	}
+	tables, err := harness.AblationTables(results, spec)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		if err := render(tbl, *csv, *jsonOut); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+func render(t *report.Table, csv, jsonOut bool) error {
+	switch {
+	case jsonOut:
+		return t.RenderJSON(os.Stdout)
+	case csv:
+		return t.RenderCSV(os.Stdout)
+	default:
 		if err := t.Render(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()
 		return nil
 	}
-
-	base := func() attack.CorrectionConfig {
-		return attack.CorrectionConfig{FlipProb: *prob, Lines: *lines, Seed: *seed}
-	}
-
-	// 1. Guess-strategy contributions (§VI-D).
-	steps := report.New(
-		fmt.Sprintf("Correction guess strategies (p=%.5f, %d lines)", *prob, *lines),
-		"configuration", "corrected %", "coverage %")
-	for _, tc := range []struct {
-		name   string
-		mutate func(*attack.CorrectionConfig)
-	}{
-		{name: "full §VI-D algorithm", mutate: func(*attack.CorrectionConfig) {}},
-		{name: "without flip-and-check", mutate: func(c *attack.CorrectionConfig) { c.DisableFlipAndCheck = true }},
-		{name: "without zero-PTE reset", mutate: func(c *attack.CorrectionConfig) { c.DisableZeroReset = true }},
-		{name: "without flag majority vote", mutate: func(c *attack.CorrectionConfig) { c.DisableFlagVote = true }},
-		{name: "without PFN contiguity", mutate: func(c *attack.CorrectionConfig) { c.DisableContiguity = true }},
-	} {
-		cfg := base()
-		tc.mutate(&cfg)
-		res, err := attack.RunCorrection(cfg)
-		if err != nil {
-			return err
-		}
-		steps.AddRow(tc.name, report.Pct(res.CorrectedPct()), report.Pct(res.CoveragePct()))
-		fmt.Fprintf(os.Stderr, ".")
-	}
-	if err := render(steps); err != nil {
-		return err
-	}
-
-	// 2. Soft-match budget k: correction vs security (§VI-C/E).
-	kTbl := report.New("Soft-match budget k trade-off",
-		"k", "corrected %", "effective MAC bits", "attack years")
-	for _, k := range []int{1, 2, 4, 6, 8} {
-		cfg := base()
-		cfg.SoftMatchK = k
-		res, err := attack.RunCorrection(cfg)
-		if err != nil {
-			return err
-		}
-		nEff, err := mac.EffectiveMACBits(96, k, mac.GMaxPaper)
-		if err != nil {
-			return err
-		}
-		kTbl.AddRow(report.I(k), report.Pct(res.CorrectedPct()),
-			report.F(nEff, 1), fmt.Sprintf("%.3g", mac.AttackYears(nEff, 50)))
-		fmt.Fprintf(os.Stderr, ".")
-	}
-	if err := render(kTbl); err != nil {
-		return err
-	}
-
-	// 3. MAC width (§VII-A).
-	wTbl := report.New("MAC width design point (§VII-A)",
-		"width", "corrected %", "effective MAC bits (k=4)")
-	for _, width := range []int{64, 80, 96} {
-		cfg := base()
-		cfg.TagBits = width
-		res, err := attack.RunCorrection(cfg)
-		if err != nil {
-			return err
-		}
-		nEff, err := mac.EffectiveMACBits(width, 4, mac.GMaxPaper)
-		if err != nil {
-			return err
-		}
-		wTbl.AddRow(fmt.Sprintf("%d-bit", width), report.Pct(res.CorrectedPct()), report.F(nEff, 1))
-		fmt.Fprintf(os.Stderr, ".")
-	}
-	fmt.Fprintln(os.Stderr)
-	return render(wTbl)
 }

@@ -1,18 +1,16 @@
 // Command ptguard-multicore reproduces §VII-C: PT-Guard's slowdown on a
 // 4-core system with out-of-order cores and a contended memory channel,
 // over SAME mixes (four copies of one benchmark) and MIX mixes (four random
-// benchmarks).
+// benchmarks). Mixes fan out over the internal/harness worker pool.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"ptguard/internal/report"
-	"ptguard/internal/sim"
-	"ptguard/internal/stats"
-	"ptguard/internal/workload"
+	"ptguard/internal/harness"
 )
 
 func main() {
@@ -26,72 +24,50 @@ func run() error {
 	var (
 		warmup  = flag.Int("warmup", 100_000, "warm-up instructions per core")
 		instr   = flag.Int("instructions", 200_000, "measured instructions per core")
-		seed    = flag.Uint64("seed", 42, "random seed")
+		seed    = flag.Uint64("seed", 42, "campaign seed (mix membership and per-job seeds derive from it)")
 		sameN   = flag.Int("same", 18, "number of SAME mixes (paper: 18)")
 		mixN    = flag.Int("mix", 16, "number of MIX mixes (paper: 16)")
 		macLat  = flag.Int("mac-latency", 10, "MAC latency in cycles")
 		model   = flag.String("model", "shared", "contention model: shared (one DRAM device, real row-buffer interference) or analytic (constant queueing delay)")
 		csvFlag = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of a table")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	profiles := workload.Profiles()
-	r := stats.NewRNG(*seed)
-	var mixes []sim.MulticoreMix
-
-	// SAME mixes: four copies of each of the first -same benchmarks.
-	for i := 0; i < *sameN && i < len(profiles); i++ {
-		p := profiles[i]
-		mixes = append(mixes, sim.MulticoreMix{
-			Name:      p.Name + "-SAME",
-			Workloads: []workload.Profile{p, p, p, p},
-		})
+	spec := harness.MulticoreSpec{
+		SameMixes:    *sameN,
+		MixMixes:     *mixN,
+		Warmup:       *warmup,
+		Instructions: *instr,
+		MACLatency:   *macLat,
+		Model:        *model,
 	}
-	// MIX mixes: four random distinct benchmarks.
-	for i := 0; i < *mixN; i++ {
-		perm := r.Perm(len(profiles))
-		mixes = append(mixes, sim.MulticoreMix{
-			Name: fmt.Sprintf("MIX-%02d", i+1),
-			Workloads: []workload.Profile{
-				profiles[perm[0]], profiles[perm[1]], profiles[perm[2]], profiles[perm[3]],
-			},
-		})
-	}
-
-	tbl := report.New("§VII-C — 4-core slowdown (O3 cores, contended channel)",
-		"mix", "slowdown")
-	slowdowns := make([]float64, 0, len(mixes))
-	worst, worstName := 0.0, ""
-	compare := sim.CompareMulticoreShared
-	switch *model {
-	case "shared":
-	case "analytic":
-		compare = sim.CompareMulticore
-	default:
-		return fmt.Errorf("unknown model %q", *model)
-	}
-	for _, mix := range mixes {
-		res, err := compare(mix, *warmup, *instr, *seed, *macLat)
-		if err != nil {
-			return err
-		}
-		slowdowns = append(slowdowns, res.SlowdownPct)
-		if res.SlowdownPct > worst {
-			worst, worstName = res.SlowdownPct, res.Mix
-		}
-		tbl.AddRow(res.Mix, report.Pct(res.SlowdownPct))
-		fmt.Fprintf(os.Stderr, ".")
-	}
-	fmt.Fprintln(os.Stderr)
-	mean, err := stats.Mean(slowdowns)
+	jobs, err := spec.Jobs(*seed)
 	if err != nil {
 		return err
 	}
-	tbl.AddRow("AVERAGE", report.Pct(mean))
-	tbl.AddRow("WORST ("+worstName+")", report.Pct(worst))
-
-	if *csvFlag {
-		return tbl.RenderCSV(os.Stdout)
+	rep, err := harness.Run(context.Background(), jobs, harness.Options{
+		Workers:  *workers,
+		Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
 	}
-	return tbl.Render(os.Stdout)
+	results, err := rep.Results()
+	if err != nil {
+		return err
+	}
+	tbl, err := harness.MulticoreTable(results)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonOut:
+		return tbl.RenderJSON(os.Stdout)
+	case *csvFlag:
+		return tbl.RenderCSV(os.Stdout)
+	default:
+		return tbl.Render(os.Stdout)
+	}
 }

@@ -1,16 +1,18 @@
 // Command ptguard-slowdown regenerates Fig. 6: per-workload normalized IPC
 // (slowdown) under PT-Guard and Optimized PT-Guard, next to each workload's
-// LLC MPKI, over the 25 SPEC-2017 and GAP benchmarks.
+// LLC MPKI, over the 25 SPEC-2017 and GAP benchmarks. Workloads fan out
+// over the internal/harness worker pool; the report is identical for any
+// -workers value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"ptguard/internal/report"
+	"ptguard/internal/harness"
 	"ptguard/internal/sim"
-	"ptguard/internal/workload"
 )
 
 func main() {
@@ -24,10 +26,12 @@ func run() error {
 	var (
 		warmup     = flag.Int("warmup", 200_000, "warm-up instructions per run")
 		instr      = flag.Int("instructions", 400_000, "measured instructions per run")
-		seed       = flag.Uint64("seed", 42, "random seed")
+		seed       = flag.Uint64("seed", 42, "campaign seed (per-job seeds derive from it)")
 		macLatency = flag.Int("mac-latency", 10, "MAC computation latency in cycles")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of a table")
 		optimized  = flag.Bool("optimized", true, "also run Optimized PT-Guard")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -35,54 +39,43 @@ func run() error {
 	if *optimized {
 		modes = append(modes, sim.PTGuardOptimized)
 	}
-	headers := []string{"workload", "suite", "LLC MPKI", "ptguard slowdown"}
-	if *optimized {
-		headers = append(headers, "optimized slowdown")
+	spec := harness.SlowdownSpec{
+		Modes:        modes,
+		Warmup:       *warmup,
+		Instructions: *instr,
+		MACLatencies: []int{*macLatency},
 	}
-	tbl := report.New("Fig. 6 — PT-Guard slowdown vs unprotected baseline", headers...)
-
-	cmps := make([]sim.Comparison, 0, 25)
-	for _, prof := range workload.Profiles() {
-		cmp, err := sim.Compare(prof, *warmup, *instr, *seed, *macLatency, modes)
+	jobs, err := spec.Jobs(*seed)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.Run(context.Background(), jobs, harness.Options{
+		Workers:  *workers,
+		Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return err
+	}
+	tables, err := harness.SlowdownTables(results, modes)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		switch {
+		case *jsonOut:
+			err = tbl.RenderJSON(os.Stdout)
+		case *csv:
+			err = tbl.RenderCSV(os.Stdout)
+		default:
+			err = tbl.Render(os.Stdout)
+		}
 		if err != nil {
 			return err
 		}
-		cmps = append(cmps, cmp)
-		row := []string{
-			prof.Name, prof.Suite,
-			report.F(cmp.LLCMPKI, 1),
-			report.Pct(cmp.SlowdownPct[sim.PTGuard]),
-		}
-		if *optimized {
-			row = append(row, report.Pct(cmp.SlowdownPct[sim.PTGuardOptimized]))
-		}
-		tbl.AddRow(row...)
-		fmt.Fprintf(os.Stderr, ".")
 	}
-	fmt.Fprintln(os.Stderr)
-
-	sums := make(map[sim.Mode]sim.SuiteSummary, len(modes))
-	for _, mode := range modes {
-		sum, err := sim.Summarize(cmps, mode)
-		if err != nil {
-			return err
-		}
-		sums[mode] = sum
-	}
-	amean := []string{"AMEAN", "", "", report.Pct(sums[sim.PTGuard].MeanPct)}
-	gmean := []string{"GMEAN IPC", "", "", report.F(sums[sim.PTGuard].GeoMeanIPC, 4)}
-	worst := []string{"WORST", "", sums[sim.PTGuard].WorstName, report.Pct(sums[sim.PTGuard].WorstPct)}
-	if *optimized {
-		amean = append(amean, report.Pct(sums[sim.PTGuardOptimized].MeanPct))
-		gmean = append(gmean, report.F(sums[sim.PTGuardOptimized].GeoMeanIPC, 4))
-		worst = append(worst, report.Pct(sums[sim.PTGuardOptimized].WorstPct))
-	}
-	tbl.AddRow(amean...)
-	tbl.AddRow(gmean...)
-	tbl.AddRow(worst...)
-
-	if *csv {
-		return tbl.RenderCSV(os.Stdout)
-	}
-	return tbl.Render(os.Stdout)
+	return nil
 }

@@ -1,0 +1,225 @@
+// Command ptguard-sweep runs the paper's full evaluation campaign — the
+// Fig. 6/7 slowdown grid, the §VII-C multicore mixes, the DESIGN.md §5
+// ablations, and the Fig. 9 correction sweep — as one declarative spec
+// fanned out over the internal/harness worker pool.
+//
+// The campaign is deterministic in its seed: every job derives its
+// simulation seed from (campaign seed, job key), so the aggregated report
+// is byte-identical whether it ran on 1 worker or 8. With -journal the
+// campaign checkpoints every completed job to a JSONL file; a killed run
+// re-invoked with the same journal path skips the finished jobs and picks
+// up where it left off.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptguard/internal/harness"
+	"ptguard/internal/report"
+	"ptguard/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Uint64("seed", 42, "campaign seed (per-job seeds derive from it)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		journal  = flag.String("journal", "", "JSONL checkpoint path; resuming with the same path skips completed jobs")
+		format   = flag.String("format", "table", "output format: table, csv or json")
+		sections = flag.String("sections", "slowdown,multicore,ablation,correction",
+			"comma-separated campaign sections to run")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-job wall-clock timeout (0 = none)")
+		retries = flag.Int("retries", 1, "re-attempts per failed or panicked job")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress reporter")
+
+		// Fig. 6/7 grid.
+		warmup    = flag.Int("warmup", 200_000, "slowdown: warm-up instructions per run")
+		instr     = flag.Int("instructions", 400_000, "slowdown: measured instructions per run")
+		macLats   = flag.String("mac-latencies", "10", "slowdown: comma-separated MAC latency sweep (Fig. 7)")
+		workloads = flag.String("workloads", "", "slowdown: comma-separated benchmark filter (empty = all 25)")
+
+		// §VII-C mixes.
+		mcWarmup = flag.Int("mc-warmup", 100_000, "multicore: warm-up instructions per core")
+		mcInstr  = flag.Int("mc-instructions", 200_000, "multicore: measured instructions per core")
+		sameN    = flag.Int("same", 18, "multicore: SAME mixes (paper: 18)")
+		mixN     = flag.Int("mix", 16, "multicore: MIX mixes (paper: 16)")
+		mcModel  = flag.String("mc-model", "shared", "multicore: contention model (shared or analytic)")
+
+		// Ablations and Fig. 9.
+		ablLines = flag.Int("ablation-lines", 400, "ablation: faulty lines per configuration")
+		flipProb = flag.Float64("flip-prob", 1.0/128, "ablation: per-bit flip probability")
+		corLines = flag.Int("correction-lines", 400, "correction: faulty lines per probability")
+	)
+	flag.Parse()
+
+	lats, err := parseInts(*macLats)
+	if err != nil {
+		return fmt.Errorf("-mac-latencies: %w", err)
+	}
+	var names []string
+	if *workloads != "" {
+		names = strings.Split(*workloads, ",")
+	}
+
+	slowdownSpec := harness.SlowdownSpec{
+		Workloads: names, Warmup: *warmup, Instructions: *instr, MACLatencies: lats,
+	}
+	multicoreSpec := harness.MulticoreSpec{
+		SameMixes: *sameN, MixMixes: *mixN,
+		Warmup: *mcWarmup, Instructions: *mcInstr, Model: *mcModel,
+	}
+	ablationSpec := harness.AblationSpec{Lines: *ablLines, FlipProb: *flipProb}
+	correctionSpec := harness.CorrectionSpec{Lines: *corLines}
+
+	opts := harness.Options{
+		Workers:     *workers,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		JournalPath: *journal,
+		Fingerprint: fmt.Sprintf(
+			"sweep-v1 seed=%d warmup=%d instr=%d lats=%s workloads=%s mc=%d/%d/%d/%d/%s abl=%d/%g cor=%d",
+			*seed, *warmup, *instr, *macLats, *workloads,
+			*sameN, *mixN, *mcWarmup, *mcInstr, *mcModel, *ablLines, *flipProb, *corLines),
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	// SIGINT/SIGTERM cancel the campaign; the journal keeps what finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tables []*report.Table
+	for _, section := range strings.Split(*sections, ",") {
+		var (
+			sectionTables []*report.Table
+			serr          error
+		)
+		switch strings.TrimSpace(section) {
+		case "":
+			continue
+		case "slowdown":
+			sectionTables, serr = runSection(ctx, opts, *seed,
+				slowdownSpec.Jobs,
+				func(rs []harness.SlowdownResult) ([]*report.Table, error) {
+					return harness.SlowdownTables(rs, nil)
+				})
+		case "multicore":
+			sectionTables, serr = runSection(ctx, opts, *seed,
+				multicoreSpec.Jobs,
+				func(rs []sim.MulticoreResult) ([]*report.Table, error) {
+					tbl, err := harness.MulticoreTable(rs)
+					return []*report.Table{tbl}, err
+				})
+		case "ablation":
+			sectionTables, serr = runSection(ctx, opts, *seed,
+				ablationSpec.Jobs,
+				func(rs []harness.AblationResult) ([]*report.Table, error) {
+					return harness.AblationTables(rs, ablationSpec)
+				})
+		case "correction":
+			sectionTables, serr = runSection(ctx, opts, *seed,
+				correctionSpec.Jobs,
+				func(rs []harness.CorrectionPoint) ([]*report.Table, error) {
+					tbl, err := harness.CorrectionTable(rs, correctionSpec)
+					return []*report.Table{tbl}, err
+				})
+		default:
+			return fmt.Errorf("unknown section %q (want slowdown, multicore, ablation or correction)", section)
+		}
+		if serr != nil {
+			return fmt.Errorf("section %s: %w", section, serr)
+		}
+		tables = append(tables, sectionTables...)
+	}
+	return renderTables(os.Stdout, tables, *format)
+}
+
+// runSection expands one campaign section into jobs, runs them through the
+// harness, and aggregates the results into tables.
+func runSection[R any](
+	ctx context.Context,
+	opts harness.Options,
+	seed uint64,
+	jobsFn func(uint64) ([]harness.Job[R], error),
+	aggregate func([]R) ([]*report.Table, error),
+) ([]*report.Table, error) {
+	jobs, err := jobsFn(seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := harness.Run(ctx, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(results)
+}
+
+// renderTables writes all campaign tables in the requested format; json
+// emits a single document holding every table's machine-readable Results.
+func renderTables(w io.Writer, tables []*report.Table, format string) error {
+	switch format {
+	case "json":
+		all := make([]report.Results, len(tables))
+		for i, t := range tables {
+			all[i] = t.Results()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	case "csv":
+		for _, t := range tables {
+			if err := t.RenderCSV(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case "table":
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,6 +1,6 @@
 // End-to-end CLI test: builds every cmd/ binary once and runs it with
 // minimal parameters, verifying exit status and that the headline table
-// appears. Skipped under -short (it compiles ten binaries).
+// appears. Skipped under -short (it compiles eleven binaries).
 package ptguard
 
 import (
@@ -13,7 +13,7 @@ import (
 
 func TestCommandLineTools(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds and runs all ten binaries; run without -short")
+		t.Skip("builds and runs all eleven binaries; run without -short")
 	}
 	binDir := t.TempDir()
 	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
@@ -81,6 +81,18 @@ func TestCommandLineTools(t *testing.T) {
 			bin:  "ptguard-ablation",
 			args: []string{"-lines", "30"},
 			want: []string{"zero-PTE reset", "Soft-match budget", "MAC width"},
+		},
+		{
+			bin: "ptguard-sweep",
+			args: []string{"-sections", "slowdown", "-workloads", "leela,povray",
+				"-warmup", "1000", "-instructions", "2000", "-workers", "2", "-quiet"},
+			want: []string{"Fig. 6", "leela", "povray", "AMEAN", "WORST"},
+		},
+		{
+			bin: "ptguard-sweep",
+			args: []string{"-sections", "correction", "-correction-lines", "30",
+				"-format", "json", "-quiet"},
+			want: []string{`"headers"`, "Fig. 9", "corrected %"},
 		},
 	}
 	for _, tt := range tests {

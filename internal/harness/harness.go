@@ -1,0 +1,311 @@
+// Package harness is the experiment-campaign execution subsystem: it takes
+// a declarative spec (workload × mode × seed × knobs grid), expands it into
+// independent jobs, fans the jobs out over a worker pool, and aggregates
+// the results deterministically — the N-worker output is byte-identical to
+// the serial output because every job's seed is a pure function of the
+// campaign seed and the job key, and results are collected in job order
+// regardless of scheduling.
+//
+// The runner is robust by construction: a panicking job is recovered and
+// retried a bounded number of times, every job runs under a wall-clock
+// timeout, and completed jobs are checkpointed to a JSONL journal so an
+// interrupted campaign resumes by skipping work already done.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work. Key must be unique within a
+// campaign and stable across runs: it names the job in the checkpoint
+// journal and seeds its derived RNG, so changing a key invalidates its
+// checkpoint.
+type Job[R any] struct {
+	// Key uniquely identifies the job within the campaign.
+	Key string
+	// Run executes the job. The context carries the per-job deadline; a
+	// job that ignores it is abandoned (its goroutine keeps running until
+	// it returns, but its result is discarded and the job counts as
+	// failed).
+	Run func(ctx context.Context) (R, error)
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the worker-pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// Timeout bounds each job attempt's wall-clock time; 0 disables.
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a failed or panicked
+	// attempt (total attempts = Retries+1).
+	Retries int
+	// JournalPath enables the JSONL checkpoint journal. Completed jobs
+	// are appended as they finish; a re-run with the same path skips jobs
+	// whose keys are already journaled, reusing the stored results.
+	JournalPath string
+	// Fingerprint guards the journal against being reused with a
+	// different campaign: it is stored in the journal header and a
+	// mismatch on resume is an error. Empty disables the check.
+	Fingerprint string
+	// Progress, when non-nil, receives periodic progress lines
+	// (jobs done/failed/retried, jobs/sec, ETA) and a final summary.
+	Progress io.Writer
+	// ProgressEvery is the reporting period; 0 selects 2s.
+	ProgressEvery time.Duration
+}
+
+// Outcome is one job's final state.
+type Outcome[R any] struct {
+	// Key is the job key.
+	Key string
+	// Result is the job's result (zero if Err != nil).
+	Result R
+	// Err is the terminal error after all attempts, nil on success.
+	Err error
+	// Attempts is the number of attempts executed (0 for journaled jobs).
+	Attempts int
+	// Elapsed is the wall-clock time across all attempts.
+	Elapsed time.Duration
+	// FromJournal marks a result restored from the checkpoint journal.
+	FromJournal bool
+}
+
+// Metrics summarises a campaign run.
+type Metrics struct {
+	// Total is the number of jobs in the campaign.
+	Total int
+	// Executed counts jobs that ran to success in this process.
+	Executed int
+	// Failed counts jobs whose final attempt failed.
+	Failed int
+	// Retried counts individual re-attempts across all jobs.
+	Retried int
+	// FromJournal counts jobs skipped because the journal had them.
+	FromJournal int
+	// Elapsed is the campaign wall-clock time.
+	Elapsed time.Duration
+}
+
+// JobsPerSec returns the executed-job throughput.
+func (m Metrics) JobsPerSec() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Executed) / m.Elapsed.Seconds()
+}
+
+// Report holds a campaign's outcomes, in job order (deterministic: the
+// order never depends on worker scheduling).
+type Report[R any] struct {
+	Outcomes []Outcome[R]
+	Metrics  Metrics
+}
+
+// Err joins every job error, or returns nil if all jobs succeeded.
+func (r *Report[R]) Err() error {
+	var errs []error
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", o.Key, o.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Results returns all results in job order, or the joined error if any
+// job failed.
+func (r *Report[R]) Results() ([]R, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]R, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		out[i] = o.Result
+	}
+	return out, nil
+}
+
+// Run executes the campaign: journaled jobs are restored, the rest fan out
+// over the worker pool. The returned error covers harness-level failures
+// (invalid jobs, journal I/O, context cancellation); per-job failures live
+// in the outcomes and in Report.Err.
+func Run[R any](ctx context.Context, jobs []Job[R], opts Options) (*Report[R], error) {
+	start := time.Now()
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" {
+			return nil, errors.New("harness: job with empty key")
+		}
+		if j.Run == nil {
+			return nil, fmt.Errorf("harness: job %q has no Run function", j.Key)
+		}
+		if seen[j.Key] {
+			return nil, fmt.Errorf("harness: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = true
+	}
+
+	var (
+		jr        *journal
+		completed map[string]journalEntry
+	)
+	if opts.JournalPath != "" {
+		var err error
+		jr, completed, err = openJournal(opts.JournalPath, opts.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		defer jr.Close()
+	}
+
+	outcomes := make([]Outcome[R], len(jobs))
+	var pending []int
+	c := &counters{}
+	for i, j := range jobs {
+		if e, ok := completed[j.Key]; ok {
+			var res R
+			if err := e.decode(&res); err == nil {
+				outcomes[i] = Outcome[R]{Key: j.Key, Result: res, FromJournal: true}
+				c.fromJournal.Add(1)
+				continue
+			}
+			// Undecodable checkpoint (e.g. the result type changed):
+			// fall through and re-run the job.
+		}
+		pending = append(pending, i)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) && len(pending) > 0 {
+		workers = len(pending)
+	}
+
+	rep := startReporter(opts, len(jobs), c)
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				out := runJob(ctx, jobs[i], opts, c)
+				outcomes[i] = out
+				if out.Err == nil {
+					c.executed.Add(1)
+					if jr != nil {
+						if err := jr.append(out.Key, out.Result, out.Attempts, out.Elapsed); err != nil {
+							c.journalErr(err)
+						}
+					}
+				} else {
+					c.failed.Add(1)
+				}
+			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	rep.stop()
+
+	m := Metrics{
+		Total:       len(jobs),
+		Executed:    int(c.executed.Load()),
+		Failed:      int(c.failed.Load()),
+		Retried:     int(c.retried.Load()),
+		FromJournal: int(c.fromJournal.Load()),
+		Elapsed:     time.Since(start),
+	}
+	report := &Report[R]{Outcomes: outcomes, Metrics: m}
+	if opts.Progress != nil {
+		fmt.Fprintf(opts.Progress, "harness: done: %d executed, %d from journal, %d failed, %d retried in %s (%.2f jobs/s)\n",
+			m.Executed, m.FromJournal, m.Failed, m.Retried, m.Elapsed.Round(time.Millisecond), m.JobsPerSec())
+	}
+	if err := ctx.Err(); err != nil {
+		return report, fmt.Errorf("harness: campaign interrupted: %w", err)
+	}
+	if err := c.takeJournalErr(); err != nil {
+		return report, fmt.Errorf("harness: journal write failed: %w", err)
+	}
+	return report, nil
+}
+
+// runJob runs one job with bounded retry; panics and timeouts count as
+// failed attempts.
+func runJob[R any](ctx context.Context, job Job[R], opts Options, c *counters) Outcome[R] {
+	start := time.Now()
+	out := Outcome[R]{Key: job.Key}
+	for attempt := 1; attempt <= opts.Retries+1; attempt++ {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			break
+		}
+		out.Attempts = attempt
+		res, err := runAttempt(ctx, job, opts.Timeout)
+		if err == nil {
+			out.Result, out.Err = res, nil
+			break
+		}
+		out.Err = err
+		if ctx.Err() != nil {
+			break // campaign cancelled: do not burn retries
+		}
+		if attempt <= opts.Retries {
+			c.retried.Add(1)
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}
+
+// runAttempt executes one attempt under the per-job timeout, converting a
+// panic into an error. The job runs in its own goroutine so a deadline can
+// fire even if the job never checks the context; an over-deadline job is
+// abandoned, not killed.
+func runAttempt[R any](ctx context.Context, job Job[R], timeout time.Duration) (R, error) {
+	actx := ctx
+	cancel := func() {}
+	if timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	type attempt struct {
+		val R
+		err error
+	}
+	ch := make(chan attempt, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				var zero R
+				ch <- attempt{zero, fmt.Errorf("job panicked: %v", p)}
+			}
+		}()
+		v, err := job.Run(actx)
+		ch <- attempt{v, err}
+	}()
+	select {
+	case a := <-ch:
+		return a.val, a.err
+	case <-actx.Done():
+		var zero R
+		return zero, fmt.Errorf("job abandoned: %w", actx.Err())
+	}
+}

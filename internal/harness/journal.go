@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// The journal is a JSONL checkpoint: a header line identifying the
+// campaign, then one line per completed job. Jobs are appended (and
+// fsynced) as they finish, so a killed campaign loses at most in-flight
+// work; a truncated trailing line from a mid-write kill is skipped on
+// load. Failed jobs are deliberately not journaled — they re-run on
+// resume.
+
+const (
+	journalMagic   = "ptguard-harness"
+	journalVersion = 1
+)
+
+type journalHeader struct {
+	Magic       string `json:"journal"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+type journalEntry struct {
+	Key       string          `json:"key"`
+	Result    json.RawMessage `json:"result"`
+	Attempts  int             `json:"attempts"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// decode unmarshals the stored result into out.
+func (e journalEntry) decode(out any) error {
+	if len(e.Result) == 0 {
+		return fmt.Errorf("harness: journal entry %q has no result", e.Key)
+	}
+	return json.Unmarshal(e.Result, out)
+}
+
+// journal appends completed jobs to the checkpoint file.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal loads the completed-job map from path (if the file exists)
+// and opens the file for appending, writing the header when the file is
+// new. A fingerprint mismatch between the header and the caller is an
+// error: the journal belongs to a different campaign.
+func openJournal(path, fingerprint string) (*journal, map[string]journalEntry, error) {
+	completed := make(map[string]journalEntry)
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		data = nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("harness: read journal: %w", err)
+	}
+
+	fresh := len(data) == 0
+	if !fresh {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		first := true
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			if first {
+				first = false
+				var h journalHeader
+				if err := json.Unmarshal(line, &h); err == nil && h.Magic == journalMagic {
+					if fingerprint != "" && h.Fingerprint != "" && h.Fingerprint != fingerprint {
+						return nil, nil, fmt.Errorf(
+							"harness: journal %s belongs to a different campaign (fingerprint %q, want %q)",
+							path, h.Fingerprint, fingerprint)
+					}
+					continue
+				}
+				// Headerless (or foreign) first line: fall through and try
+				// it as an entry.
+			}
+			var e journalEntry
+			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+				continue // torn or corrupt line: re-run that job
+			}
+			completed[e.Key] = e
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("harness: scan journal: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+	j := &journal{f: f}
+	if fresh {
+		h := journalHeader{Magic: journalMagic, Version: journalVersion, Fingerprint: fingerprint}
+		if err := j.writeLine(h); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, completed, nil
+}
+
+// append checkpoints one completed job.
+func (j *journal) append(key string, result any, attempts int, elapsed time.Duration) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("harness: marshal result for %q: %w", key, err)
+	}
+	return j.writeLine(journalEntry{
+		Key:       key,
+		Result:    raw,
+		Attempts:  attempts,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+func (j *journal) writeLine(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the shared live state between workers and the reporter.
+type counters struct {
+	executed    atomic.Int64 // jobs run to success in this process
+	failed      atomic.Int64
+	retried     atomic.Int64 // individual re-attempts
+	fromJournal atomic.Int64
+
+	mu    sync.Mutex
+	jrErr error
+}
+
+func (c *counters) journalErr(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jrErr == nil {
+		c.jrErr = err
+	}
+}
+
+func (c *counters) takeJournalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jrErr
+}
+
+// reporter periodically writes a progress line to Options.Progress.
+type reporter struct {
+	quit chan struct{}
+	done chan struct{}
+}
+
+// startReporter launches the progress goroutine; with a nil Progress
+// writer it returns an inert reporter.
+func startReporter(opts Options, total int, c *counters) *reporter {
+	r := &reporter{quit: make(chan struct{}), done: make(chan struct{})}
+	if opts.Progress == nil {
+		close(r.done)
+		return r
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	start := time.Now()
+	go func() {
+		defer close(r.done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.quit:
+				return
+			case <-tick.C:
+				executed := c.executed.Load()
+				failed := c.failed.Load()
+				retried := c.retried.Load()
+				journaled := c.fromJournal.Load()
+				finished := executed + failed + journaled
+				elapsed := time.Since(start)
+				rate := 0.0
+				if elapsed > 0 {
+					rate = float64(executed) / elapsed.Seconds()
+				}
+				eta := "?"
+				if remaining := int64(total) - finished; remaining <= 0 {
+					eta = "0s"
+				} else if rate > 0 {
+					eta = (time.Duration(float64(remaining)/rate*float64(time.Second))).Round(time.Second).String()
+				}
+				fmt.Fprintf(opts.Progress,
+					"harness: %d/%d done (%d from journal), %d failed, %d retried, %.2f jobs/s, ETA %s\n",
+					finished, total, journaled, failed, retried, rate, eta)
+			}
+		}
+	}()
+	return r
+}
+
+// stop terminates the reporter and waits for its goroutine to exit, so no
+// progress line can interleave with the final summary.
+func (r *reporter) stop() {
+	select {
+	case <-r.done:
+		return
+	default:
+	}
+	close(r.quit)
+	<-r.done
+}

@@ -74,10 +74,17 @@ func (a *FrameAllocator) AllocOrder(order int) (uint64, error) {
 	if o > MaxOrder {
 		return 0, ErrOutOfMemory
 	}
+	// Take the lowest-addressed free block, as a real buddy allocator's
+	// free-list head would. Deterministic selection matters: physical
+	// frame assignment feeds simulated cache indices and line contents,
+	// and campaign runs must be reproducible from their seed alone.
 	var block uint64
+	first := true
 	for b := range a.free[o] {
-		block = b
-		break
+		if first || b < block {
+			block = b
+			first = false
+		}
 	}
 	delete(a.free[o], block)
 	// Split down to the requested order, returning buddies to the lists.

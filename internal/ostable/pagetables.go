@@ -253,12 +253,18 @@ func (p *PageTables) LeafEntryAddr(vaddr uint64) (uint64, bool) {
 	return entryAddress(base, va, tableLevels-1), true
 }
 
-// Lines calls fn for every table cacheline (address, content), in
-// unspecified order. Used to flush the tables into simulated DRAM through
-// the memory controller, which embeds the MACs.
+// Lines calls fn for every table cacheline (address, content), in address
+// order. Used to flush the tables into simulated DRAM through the memory
+// controller, which embeds the MACs; the deterministic order keeps DRAM
+// row-buffer state reproducible across runs.
 func (p *PageTables) Lines(fn func(addr uint64, line pte.Line)) {
-	for addr, line := range p.lines {
-		fn(addr, line)
+	addrs := make([]uint64, 0, len(p.lines))
+	for addr := range p.lines {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		fn(addr, p.lines[addr])
 	}
 }
 

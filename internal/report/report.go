@@ -1,8 +1,9 @@
-// Package report renders experiment results as aligned ASCII tables and
-// CSV, the output format of every cmd/ binary and bench harness.
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and JSON, the output formats of every cmd/ binary and bench harness.
 package report
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -82,6 +83,52 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// Results is the machine-readable form of a Table: the same title,
+// headers and row cells, marshallable to/from JSON so campaign runners can
+// persist and post-process reports programmatically.
+type Results struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Results copies the table into its machine-readable form. Short rows are
+// padded to the header width, mirroring AddRow; Rows is always non-nil so
+// the JSON field encodes as [] rather than null.
+func (t *Table) Results() Results {
+	r := Results{
+		Title:   t.Title,
+		Headers: append([]string(nil), t.Headers...),
+		Rows:    make([][]string, len(t.Rows)),
+	}
+	for i, row := range t.Rows {
+		padded := make([]string, len(t.Headers))
+		copy(padded, row)
+		r.Rows[i] = padded
+	}
+	return r
+}
+
+// Table converts machine-readable results back into a renderable table.
+func (r Results) Table() *Table {
+	t := New(r.Title, r.Headers...)
+	for _, row := range r.Rows {
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderJSON writes the table as an indented JSON document (its Results
+// form) followed by a newline.
+func (t *Table) RenderJSON(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Results())
 }
 
 func csvLine(cells []string) string {

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -62,6 +64,58 @@ func TestEmptyTableErrors(t *testing.T) {
 	}
 	if err := tbl.RenderCSV(&sb); err == nil {
 		t.Error("csv of column-less table accepted")
+	}
+	if err := tbl.RenderJSON(&sb); err == nil {
+		t.Error("json of column-less table accepted")
+	}
+}
+
+func TestRenderJSONRoundTrip(t *testing.T) {
+	tbl := New("Fig. X", "name", "value", "note")
+	tbl.AddRow("alpha", "1", `quote " and comma ,`)
+	tbl.AddRow("short") // padded to header width
+	var sb strings.Builder
+	if err := tbl.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("JSON output not newline-terminated")
+	}
+	var got Results
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	want := Results{
+		Title:   "Fig. X",
+		Headers: []string{"name", "value", "note"},
+		Rows: [][]string{
+			{"alpha", "1", `quote " and comma ,`},
+			{"short", "", ""},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+func TestResultsTableRoundTrip(t *testing.T) {
+	tbl := New("T", "a", "b")
+	tbl.AddRow("1", "2")
+	back := tbl.Results().Table()
+	if !reflect.DeepEqual(back, tbl) {
+		t.Errorf("Results().Table() = %+v, want %+v", back, tbl)
+	}
+}
+
+func TestResultsEmptyRowsEncodeAsArray(t *testing.T) {
+	tbl := New("T", "a")
+	raw, err := json.Marshal(tbl.Results())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"rows":null`) {
+		t.Errorf("rows encoded as null: %s", raw)
 	}
 }
 

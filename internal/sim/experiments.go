@@ -3,11 +3,26 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"ptguard/internal/cpu"
 	"ptguard/internal/stats"
 	"ptguard/internal/workload"
 )
+
+// SlowdownPercent returns 100*(cycles/baseCycles - 1), the Fig. 6/7
+// measurement unit. A degenerate baseline (zero, negative, NaN or Inf
+// cycles) is a descriptive error instead of a NaN that would silently
+// poison every downstream mean and report.
+func SlowdownPercent(cycles, baseCycles float64) (float64, error) {
+	if baseCycles <= 0 || math.IsNaN(baseCycles) || math.IsInf(baseCycles, 0) {
+		return 0, fmt.Errorf("sim: baseline run reported non-positive cycle count %g; cannot normalize slowdown", baseCycles)
+	}
+	if cycles < 0 || math.IsNaN(cycles) || math.IsInf(cycles, 0) {
+		return 0, fmt.Errorf("sim: run reported invalid cycle count %g", cycles)
+	}
+	return 100 * (cycles/baseCycles - 1), nil
+}
 
 // Comparison holds one workload's results across modes, normalized to the
 // baseline (the Fig. 6/7 measurement unit).
@@ -46,7 +61,11 @@ func Compare(prof workload.Profile, warmup, instructions int, seed uint64, macLa
 			return Comparison{}, fmt.Errorf("%s/%s: %w", prof.Name, m, rerr)
 		}
 		cmp.Results[m] = r
-		cmp.SlowdownPct[m] = 100 * (r.Cycles/base.Cycles - 1)
+		sl, serr := SlowdownPercent(r.Cycles, base.Cycles)
+		if serr != nil {
+			return Comparison{}, fmt.Errorf("%s/%s: %w", prof.Name, m, serr)
+		}
+		cmp.SlowdownPct[m] = sl
 	}
 	return cmp, nil
 }
@@ -154,10 +173,11 @@ func CompareMulticore(mix MulticoreMix, warmup, instrPerCore int, seed uint64, m
 		baseCycles += base.Cycles
 		guardCycles += guard.Cycles
 	}
-	return MulticoreResult{
-		Mix:         mix.Name,
-		SlowdownPct: 100 * (guardCycles/baseCycles - 1),
-	}, nil
+	sl, err := SlowdownPercent(guardCycles, baseCycles)
+	if err != nil {
+		return MulticoreResult{}, fmt.Errorf("%s: %w", mix.Name, err)
+	}
+	return MulticoreResult{Mix: mix.Name, SlowdownPct: sl}, nil
 }
 
 // multicoreCore returns the §VII-C out-of-order core configuration.

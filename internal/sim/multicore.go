@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 
 	"ptguard/internal/dram"
 	"ptguard/internal/memctrl"
@@ -173,8 +174,9 @@ func CompareMulticoreShared(mix MulticoreMix, warmup, instrPerCore int, seed uin
 	if err != nil {
 		return MulticoreResult{}, err
 	}
-	return MulticoreResult{
-		Mix:         mix.Name,
-		SlowdownPct: 100 * (guard/base - 1),
-	}, nil
+	sl, err := SlowdownPercent(guard, base)
+	if err != nil {
+		return MulticoreResult{}, fmt.Errorf("%s: %w", mix.Name, err)
+	}
+	return MulticoreResult{Mix: mix.Name, SlowdownPct: sl}, nil
 }
