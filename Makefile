@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race fuzz-smoke bench
 
 # ci is the gate every change must pass.
-ci: vet build test race
+ci: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -14,10 +14,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The harness fans jobs out over goroutines and the simulators it drives
-# must stay data-race-free; run those packages under the race detector.
+# The harness fans jobs out over goroutines and the fault campaigns drive
+# every simulator from that pool; run the whole tree under the race detector.
 race:
-	$(GO) test -race ./internal/harness/... ./internal/sim/...
+	$(GO) test -race ./...
+
+# Short fuzz runs of the pack/unpack and MAC roundtrip targets; go test
+# accepts one -fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzLineBytesRoundtrip -fuzztime=5s
+	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzEntryFieldOps -fuzztime=5s
+	$(GO) test ./internal/core -run=^$$ -fuzz=FuzzMACEmbedVerifyStrip -fuzztime=5s
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -43,17 +43,17 @@ func runScenarios(seed uint64) error {
 		"scenario", "system", "exploit succeeded", "detected", "notes")
 
 	scenario := func(name string, protected bool, f func(*attack.World) (attack.Outcome, error)) error {
-		w, err := attack.NewWorld(protected, false, seed)
-		if err != nil {
-			return err
-		}
-		out, err := f(w)
-		if err != nil {
-			return err
-		}
 		system := "unprotected"
 		if protected {
 			system = "pt-guard"
+		}
+		w, err := attack.NewWorld(protected, false, seed)
+		if err != nil {
+			return fmt.Errorf("scenario %q (%s): building world: %w", name, system, err)
+		}
+		out, err := f(w)
+		if err != nil {
+			return fmt.Errorf("scenario %q (%s): %w", name, system, err)
 		}
 		tbl.AddRow(name, system,
 			fmt.Sprintf("%t", out.ExploitSucceeded),
@@ -90,7 +90,7 @@ func runScenarios(seed uint64) error {
 	// Known-plaintext CTB DoS (§VII-B): needs a protected world.
 	w, err := attack.NewWorld(true, false, seed)
 	if err != nil {
-		return err
+		return fmt.Errorf("scenario %q: building world: %w", "known-plaintext CTB DoS", err)
 	}
 	tracked, err := w.CTBOverflowDoS(seed)
 	switch {
@@ -98,7 +98,7 @@ func runScenarios(seed uint64) error {
 		tbl.AddRow("known-plaintext CTB DoS", "pt-guard", "false", "true",
 			fmt.Sprintf("CTB overflowed after %d collisions: re-key signalled", tracked))
 	case err != nil:
-		return err
+		return fmt.Errorf("scenario %q: %w", "known-plaintext CTB DoS", err)
 	default:
 		tbl.AddRow("known-plaintext CTB DoS", "pt-guard", "false", "false",
 			fmt.Sprintf("%d collisions tracked without overflow", tracked))
@@ -109,7 +109,7 @@ func runScenarios(seed uint64) error {
 func runCoverage(seed uint64, trials, flips int) error {
 	res, err := attack.RunCoverage(seed, trials, flips)
 	if err != nil {
-		return err
+		return fmt.Errorf("coverage comparison (%d trials, <=%d flips): %w", trials, flips, err)
 	}
 	tbl := report.New(
 		fmt.Sprintf("Defense coverage over %d random 1..%d-bit PTE fault patterns", res.Trials, flips),

@@ -33,7 +33,7 @@ func run() error {
 
 	ps, err := parseProbs(*probs)
 	if err != nil {
-		return err
+		return fmt.Errorf("-probs: %w", err)
 	}
 	tbl := report.New("Fig. 9 — best-effort correction of faulty PTE cachelines",
 		"p_flip", "erroneous", "corrected", "detected", "miscorrected", "corrected %", "coverage %", "guesses")
@@ -45,7 +45,7 @@ func run() error {
 			SoftMatchK: *softK,
 		})
 		if rerr != nil {
-			return rerr
+			return fmt.Errorf("correction sweep at p=%s: %w", p.label, rerr)
 		}
 		tbl.AddRow(p.label,
 			report.I(res.Erroneous), report.I(res.Corrected),

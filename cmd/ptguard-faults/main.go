@@ -1,0 +1,171 @@
+// Command ptguard-faults runs the fault-model taxonomy campaign: every flip
+// model (uniform, exact-N-bit, burst, DQ-pin, polarity, row-severity,
+// targeted) crossed with the detection-only and correction-enabled Guard,
+// fanned out over the internal/harness worker pool. Every injected flip is
+// recorded by a ground-truth oracle, and every Guard verdict is classified
+// into a confusion matrix: detected, corrected, miscorrected, or silent
+// corruption.
+//
+// The campaign is deterministic in its seed, and -journal checkpoints
+// completed jobs so an interrupted run resumes where it left off.
+//
+// Example:
+//
+//	ptguard-faults -lines 2000 -models 1bit,2bit,3bit -modes correct
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptguard/internal/fault"
+	"ptguard/internal/harness"
+	"ptguard/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-faults:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Uint64("seed", 42, "campaign seed (per-job seeds derive from it)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		journal = flag.String("journal", "", "JSONL checkpoint path; resuming with the same path skips completed jobs")
+		format  = flag.String("format", "table", "output format: table, csv or json")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-job wall-clock timeout (0 = none)")
+		retries = flag.Int("retries", 1, "re-attempts per failed or panicked job")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress reporter")
+
+		models = flag.String("models", "", "comma-separated fault.Parse model specs (empty = full taxonomy)")
+		modes  = flag.String("modes", "detect,correct", "comma-separated Guard modes: detect and/or correct")
+		lines  = flag.Int("lines", 400, "faulty PTE cachelines per (model, mode) cell")
+		softK  = flag.Int("soft-k", 0, "soft-match fault budget k (0 = paper's 4)")
+		tag    = flag.Int("tag-bits", 0, "MAC width in bits (0 = 96; small widths expose miscorrections)")
+		list   = flag.Bool("list-models", false, "print the supported model specs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range fault.Specs() {
+			fmt.Println(s)
+		}
+		return nil
+	}
+
+	spec := harness.FaultSpec{
+		Models:     splitModels(*models),
+		Modes:      splitCSV(*modes),
+		Lines:      *lines,
+		SoftMatchK: *softK,
+		TagBits:    *tag,
+	}
+
+	opts := harness.Options{
+		Workers:     *workers,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		JournalPath: *journal,
+		Fingerprint: fmt.Sprintf("faults-v1 seed=%d models=%s modes=%s lines=%d k=%d tag=%d",
+			*seed, *models, *modes, *lines, *softK, *tag),
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	// SIGINT/SIGTERM cancel the campaign; the journal keeps what finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	jobs, err := spec.Jobs(*seed)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.Run(ctx, jobs, opts)
+	if err != nil {
+		return err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return err
+	}
+	tables, err := harness.FaultTables(results, spec)
+	if err != nil {
+		return err
+	}
+	return renderTables(os.Stdout, tables, *format)
+}
+
+// splitModels splits a comma-separated list of model specs. Spec parameters
+// themselves use commas (burst:p=0.9,run=4), so a part that is a bare
+// key=value — an '=' with no ':' before it — continues the previous spec
+// rather than starting a new one.
+func splitModels(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		eq, colon := strings.IndexByte(part, '='), strings.IndexByte(part, ':')
+		if eq >= 0 && (colon < 0 || eq < colon) && len(out) > 0 {
+			out[len(out)-1] += "," + part
+			continue
+		}
+		out = append(out, part)
+	}
+	return out
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// renderTables writes the campaign tables in the requested format; json
+// emits a single document holding every table's machine-readable Results.
+func renderTables(w io.Writer, tables []*report.Table, format string) error {
+	switch format {
+	case "json":
+		all := make([]report.Results, len(tables))
+		for i, t := range tables {
+			all[i] = t.Results()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	case "csv":
+		for _, t := range tables {
+			if err := t.RenderCSV(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case "table":
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
+	}
+}

@@ -387,3 +387,128 @@ func TestAblationDisableFlagVote(t *testing.T) {
 		t.Error("flag corruption corrected despite flag vote disabled")
 	}
 }
+
+func TestCorrectAllZeroLine(t *testing.T) {
+	// Edge case: the all-zero line (64% of real PTEs are zero, Insight 1).
+	// A small scatter of flips across several zero PTEs defeats
+	// flip-and-check (multiple corrupted entries) but the zero-reset
+	// guess restores the whole line in one step.
+	g := correctionGuard(t, nil)
+	line := pte.Line{}
+	img := writePTE(t, g, line, 0xA000)
+	tampered := flipBit(img, 0, pte.BitPresent)
+	tampered = flipBit(tampered, 3, 14) // low PFN bit
+	tampered = flipBit(tampered, 6, pte.BitNX)
+	rd := g.OnRead(tampered, 0xA000, true)
+	if rd.CheckFailed || !rd.Corrected {
+		t.Fatalf("scattered flips on the zero line not corrected: %+v", rd)
+	}
+	if rd.Line != line {
+		t.Fatal("correction did not restore the all-zero line")
+	}
+	if got := g.Counters().Corrections; got != 1 {
+		t.Errorf("Corrections counter = %d, want 1", got)
+	}
+}
+
+func TestZeroResetBoundary(t *testing.T) {
+	// The zero-reset guess fires for PTEs with at most ZeroResetMaxBits
+	// protected bits set. Exactly at the threshold it must still fire;
+	// one bit above, the PTE is no longer "almost zero" and the engine
+	// must not zero it (it would be a miscorrection if a soft MAC
+	// collision let it through — instead the line is detected).
+	g := correctionGuard(t, nil) // default ZeroResetMaxBits = 4
+	line := pte.Line{}
+	img := writePTE(t, g, line, 0xB000)
+
+	at := img
+	for _, b := range []int{0, 1, 14, 63} { // exactly 4 protected bits
+		at = flipBit(at, 2, b)
+	}
+	rd := g.OnRead(at, 0xB000, true)
+	if rd.CheckFailed || !rd.Corrected || rd.Line != line {
+		t.Fatalf("4 flips in one zero PTE (== ZeroResetMaxBits) not corrected: %+v", rd)
+	}
+
+	above := img
+	for _, b := range []int{0, 1, 2, 14, 63} { // 5 bits: above threshold
+		above = flipBit(above, 2, b)
+	}
+	rd = g.OnRead(above, 0xB000, true)
+	if rd.Corrected {
+		t.Fatalf("5 flips above the zero-reset threshold claimed corrected: %+v", rd)
+	}
+	if !rd.CheckFailed {
+		t.Fatal("uncorrectable line not detected")
+	}
+}
+
+func TestFailedCorrectionBurnsExactlyGMax(t *testing.T) {
+	// The guess budget boundary: a correction that exhausts every
+	// strategy must burn exactly GMax = 372 guesses (§VI-D) — no early
+	// exit miscounting, no overrun — and the counters must record the
+	// failure, not a correction.
+	g := correctionGuard(t, nil)
+	line := makePTELine(0x3C3000, testFlags, 8)
+	img := writePTE(t, g, line, 0xD000)
+	r := stats.NewRNG(7)
+	tampered := img
+	for i := 0; i < 48; i++ {
+		tampered = flipBit(tampered, r.Intn(8), r.Intn(40))
+	}
+	rd := g.OnRead(tampered, 0xD000, true)
+	if rd.Corrected {
+		t.Skip("seed produced a correctable pattern; boundary not reached")
+	}
+	if !rd.CheckFailed {
+		t.Fatal("heavy corruption not detected")
+	}
+	if rd.Guesses != g.GMax() {
+		t.Errorf("failed correction burned %d guesses, want exactly GMax = %d", rd.Guesses, g.GMax())
+	}
+	ctr := g.Counters()
+	if ctr.Corrections != 0 || ctr.VerifyFailures != 1 {
+		t.Errorf("counters = %+v, want 0 corrections and 1 verify failure", ctr)
+	}
+	if ctr.CorrectionGuesses != uint64(g.GMax()) {
+		t.Errorf("CorrectionGuesses = %d, want %d", ctr.CorrectionGuesses, g.GMax())
+	}
+}
+
+func TestMiscorrectionAccountingOnSoftMatchCollision(t *testing.T) {
+	// With a tiny 8-bit MAC and k=4, soft matches accept any candidate
+	// whose tag lands within Hamming distance 4 of the stored tag: two
+	// different candidates can both soft-match, and the engine serves the
+	// first one it guesses. The Guard *believes* it corrected — the
+	// Corrections counter increments — even when the served payload is
+	// wrong. Only a ground-truth oracle can expose these (internal/fault).
+	g := correctionGuard(t, func(c *Config) { c.TagBits = 8 })
+	r := stats.NewRNG(99)
+	miscorrections, corrections := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		line := makePTELine(uint64(0x200000+trial*8), testFlags, 8)
+		addr := uint64(0x80000 + trial*64)
+		img := writePTE(t, g, line, addr)
+		tampered := img
+		for i := 0; i < 3; i++ { // 3 flips: beyond single-flip repair
+			tampered = flipBit(tampered, r.Intn(8), r.Intn(40))
+		}
+		before := g.Counters().Corrections
+		rd := g.OnRead(tampered, addr, true)
+		claimed := g.Counters().Corrections > before
+		if rd.Corrected != claimed {
+			t.Fatalf("trial %d: ReadResult.Corrected=%t but counter delta=%t", trial, rd.Corrected, claimed)
+		}
+		if rd.Corrected {
+			corrections++
+			if rd.Line != line {
+				miscorrections++
+			}
+		}
+	}
+	if miscorrections == 0 {
+		t.Fatalf("8-bit MAC produced no miscorrection in 200 trials (%d claimed corrections): "+
+			"soft-match collision accounting not exercised", corrections)
+	}
+	t.Logf("8-bit MAC: %d claimed corrections, %d of them miscorrections", corrections, miscorrections)
+}

@@ -5,6 +5,7 @@ package dram
 
 import (
 	"fmt"
+	"sort"
 
 	"ptguard/internal/pte"
 )
@@ -83,6 +84,11 @@ type Device struct {
 	autoRefreshEvery int
 	accessesSinceRef int
 
+	// flips attributes injected bit flips to their (bank, row), so fault
+	// campaigns can tell which rows and banks ate the faults.
+	flips      map[bankRow]uint64
+	flipsTotal uint64
+
 	reads, writes, rowHits, rowMisses uint64
 	refreshWindows                    uint64
 }
@@ -114,6 +120,7 @@ func NewDevice(geo Geometry, timing Timing) (*Device, error) {
 		lines:       make(map[uint64]pte.Line),
 		openRow:     open,
 		activations: make(map[bankRow]int),
+		flips:       make(map[bankRow]uint64),
 	}, nil
 }
 
@@ -256,9 +263,63 @@ func (d *Device) StoredLines() int { return len(d.lines) }
 type Stats struct {
 	Reads, Writes      uint64
 	RowHits, RowMisses uint64
+	// FlipsInjected is the total number of disturbance bit flips the
+	// device absorbed; FlipCounts attributes them to (bank, row).
+	FlipsInjected uint64
 }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	return Stats{Reads: d.reads, Writes: d.writes, RowHits: d.rowHits, RowMisses: d.rowMisses}
+	return Stats{
+		Reads: d.reads, Writes: d.writes,
+		RowHits: d.rowHits, RowMisses: d.rowMisses,
+		FlipsInjected: d.flipsTotal,
+	}
+}
+
+// recordFlips attributes n injected flips to the (bank, row) of addr.
+func (d *Device) recordFlips(addr uint64, n int) {
+	loc := d.Locate(addr)
+	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
+	d.flips[bankRow{bank: bankIdx, row: loc.Row}] += uint64(n)
+	d.flipsTotal += uint64(n)
+}
+
+// FlipCount is the number of injected flips one (bank, row) received.
+type FlipCount struct {
+	Bank, Row int
+	Flips     uint64
+}
+
+// FlipCounts returns per-row flip attribution for every row that received
+// at least one flip, sorted by (bank, row) for deterministic output.
+func (d *Device) FlipCounts() []FlipCount {
+	out := make([]FlipCount, 0, len(d.flips))
+	for br, n := range d.flips {
+		out = append(out, FlipCount{Bank: br.bank, Row: br.row, Flips: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bank != out[j].Bank {
+			return out[i].Bank < out[j].Bank
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out
+}
+
+// BankFlips returns per-bank flip totals, indexed by the global bank index
+// (channel*BanksPerChannel + bank).
+func (d *Device) BankFlips() []uint64 {
+	out := make([]uint64, d.geo.Channels*d.geo.BanksPerChannel)
+	for br, n := range d.flips {
+		out[br.bank] += n
+	}
+	return out
+}
+
+// RowFlips returns the flips attributed to the row containing addr.
+func (d *Device) RowFlips(addr uint64) uint64 {
+	loc := d.Locate(addr)
+	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
+	return d.flips[bankRow{bank: bankIdx, row: loc.Row}]
 }

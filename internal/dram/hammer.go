@@ -24,13 +24,35 @@ const (
 	FlipProbDDR4   = 1.0 / 512
 )
 
+// FlipModel chooses which bits of a stored line a disturbance flips. The
+// uniform per-bit Bernoulli model is built in; internal/fault provides
+// spatially-aware implementations (DQ-pin bursts, true/anti-cell polarity,
+// per-row severity, targeted PTE bits). Implementations must be
+// deterministic functions of the rng stream and their inputs.
+type FlipModel interface {
+	// Name identifies the model in reports and campaign job keys.
+	Name() string
+	// FlipBits returns the line-relative bit positions (0..511) to flip
+	// in the stored line at loc. Duplicate positions toggle the bit
+	// repeatedly (an even count cancels out).
+	FlipBits(rng *stats.RNG, line pte.Line, loc Location) []int
+}
+
+// FlipObserver receives every injected bit flip, line address plus
+// line-relative bit position. The fault oracle uses it to keep ground truth.
+type FlipObserver func(addr uint64, bit int)
+
 // HammerConfig parameterises the disturbance model.
 type HammerConfig struct {
 	// Threshold is the activation count beyond which neighbours flip.
 	Threshold int
 	// FlipProb is the per-bit flip probability applied to a victim row's
-	// stored lines when its aggressor crosses the threshold.
+	// stored lines when its aggressor crosses the threshold. Ignored when
+	// Model is set.
 	FlipProb float64
+	// Model overrides the uniform Bernoulli fault model with a pluggable
+	// one. Nil selects Bernoulli(FlipProb).
+	Model FlipModel
 	// Seed feeds the deterministic fault RNG.
 	Seed uint64
 }
@@ -44,7 +66,8 @@ type Hammerer struct {
 	cfg HammerConfig
 	rng *stats.RNG
 
-	flips uint64
+	observer FlipObserver
+	flips    uint64
 }
 
 // NewHammerer builds a Hammerer for dev.
@@ -63,6 +86,13 @@ func NewHammerer(dev *Device, cfg HammerConfig) (*Hammerer, error) {
 	}
 	return &Hammerer{dev: dev, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}, nil
 }
+
+// SetObserver registers a callback invoked once per injected bit flip.
+// A nil observer disables the hook.
+func (h *Hammerer) SetObserver(obs FlipObserver) { h.observer = obs }
+
+// Model returns the configured flip model (nil for uniform Bernoulli).
+func (h *Hammerer) Model() FlipModel { return h.cfg.Model }
 
 // FlipsInjected returns the total number of bits flipped so far.
 func (h *Hammerer) FlipsInjected() uint64 { return h.flips }
@@ -112,8 +142,8 @@ func (h *Hammerer) DoubleSided(victimAddr uint64, countPerSide int) int {
 	return flipped
 }
 
-// disturbRow injects Bernoulli(FlipProb) bit flips into every stored line
-// of the victim row, returning the number of bits flipped.
+// disturbRow injects fault-model bit flips into every stored line of the
+// victim row, returning the number of bits flipped.
 func (h *Hammerer) disturbRow(channel, bank, row int) int {
 	base := h.dev.AddrOfRow(bank, row, 0)
 	_ = channel // AddrOfRow models channel 0; geometry default has one channel
@@ -121,60 +151,82 @@ func (h *Hammerer) disturbRow(channel, bank, row int) int {
 	flipped := 0
 	for c := 0; c < linesPerRow; c++ {
 		addr := base + uint64(c*pte.LineBytes)
-		key := addr / pte.LineBytes * pte.LineBytes
-		line, ok := h.dev.lines[key]
-		if !ok {
+		if !h.dev.Contains(addr) {
 			continue // nothing stored; flips in unused cells are moot
 		}
-		changed := false
+		flipped += h.injectAt(addr, Location{Channel: 0, Bank: bank, Row: row, Column: c})
+	}
+	return flipped
+}
+
+// InjectFaults applies the configured fault model once to the stored line at
+// addr: the fault-campaign entry point. It returns the number of bits that
+// ended up flipped.
+func (h *Hammerer) InjectFaults(addr uint64) int {
+	return h.injectAt(addr, h.dev.Locate(addr))
+}
+
+// injectAt draws the flip positions for one line from the configured model
+// (or the uniform Bernoulli default) and applies them.
+func (h *Hammerer) injectAt(addr uint64, loc Location) int {
+	line := h.dev.ReadLine(addr)
+	var bits []int
+	if h.cfg.Model != nil {
+		bits = h.cfg.Model.FlipBits(h.rng, line, loc)
+	} else {
 		for bit := 0; bit < pte.LineBytes*8; bit++ {
-			if !h.rng.Bernoulli(h.cfg.FlipProb) {
-				continue
+			if h.rng.Bernoulli(h.cfg.FlipProb) {
+				bits = append(bits, bit)
 			}
-			line[bit/64] = pte.Entry(uint64(line[bit/64]) ^ 1<<uint(bit%64))
-			flipped++
-			changed = true
-		}
-		if changed {
-			h.dev.lines[key] = line
 		}
 	}
-	h.flips += uint64(flipped)
-	return flipped
+	return h.applyFlips(addr, bits)
 }
 
 // InjectLineFaults flips each bit of the stored line at addr independently
 // with probability p: the uniform fault-injection methodology of §VI-F used
 // for the Fig. 9 correction experiments. It returns the number of flips.
 func (h *Hammerer) InjectLineFaults(addr uint64, p float64) int {
-	key := addr / pte.LineBytes * pte.LineBytes
-	line := h.dev.lines[key]
-	flipped := 0
+	var bits []int
 	for bit := 0; bit < pte.LineBytes*8; bit++ {
-		if !h.rng.Bernoulli(p) {
-			continue
+		if h.rng.Bernoulli(p) {
+			bits = append(bits, bit)
 		}
-		line[bit/64] = pte.Entry(uint64(line[bit/64]) ^ 1<<uint(bit%64))
-		flipped++
 	}
-	if flipped > 0 {
-		h.dev.lines[key] = line
-		h.flips += uint64(flipped)
-	}
-	return flipped
+	return h.applyFlips(addr, bits)
 }
 
 // FlipLineBits flips the exact given bit positions (0..511) of the stored
 // line at addr: the surgical injection used by targeted exploits (§II-C).
 func (h *Hammerer) FlipLineBits(addr uint64, bitPositions []int) {
+	h.applyFlips(addr, bitPositions)
+}
+
+// applyFlips is the single choke point every injection path goes through:
+// it toggles the requested bits, attributes the flips to the line's (bank,
+// row) in the device counters, and notifies the observer. Out-of-range
+// positions are ignored.
+func (h *Hammerer) applyFlips(addr uint64, bitPositions []int) int {
+	if len(bitPositions) == 0 {
+		return 0
+	}
 	key := addr / pte.LineBytes * pte.LineBytes
 	line := h.dev.lines[key]
+	flipped := 0
 	for _, bit := range bitPositions {
 		if bit < 0 || bit >= pte.LineBytes*8 {
 			continue
 		}
 		line[bit/64] = pte.Entry(uint64(line[bit/64]) ^ 1<<uint(bit%64))
-		h.flips++
+		flipped++
+		if h.observer != nil {
+			h.observer(key, bit)
+		}
 	}
-	h.dev.lines[key] = line
+	if flipped > 0 {
+		h.dev.lines[key] = line
+		h.flips += uint64(flipped)
+		h.dev.recordFlips(key, flipped)
+	}
+	return flipped
 }

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"ptguard/internal/core"
+	"ptguard/internal/dram"
+	"ptguard/internal/mac"
+	"ptguard/internal/memctrl"
+	"ptguard/internal/ostable"
+	"ptguard/internal/pte"
+	"ptguard/internal/stats"
+)
+
+// CampaignConfig parameterises one fault-injection campaign: a single flip
+// model exercised against a synthetic page-table population, with every
+// Guard verdict cross-checked against the ground-truth oracle.
+type CampaignConfig struct {
+	// Model is the flip model under test; nil selects the paper's uniform
+	// Bernoulli at the LPDDR4 worst case (1/128).
+	Model dram.FlipModel
+	// Lines is the number of faulty PTE cachelines to evaluate (trials
+	// whose injection produced no net flip still feed the clean-pass /
+	// false-alarm cells but do not count toward Lines).
+	Lines int
+	// Seed drives the population synthesiser and the fault RNG.
+	Seed uint64
+	// EnableCorrection turns on the §VI best-effort correction engine;
+	// off, the campaign measures pure detection.
+	EnableCorrection bool
+	// SoftMatchK overrides the MAC fault budget; 0 selects the paper's 4.
+	SoftMatchK int
+	// TagBits overrides the MAC width; 0 selects 96. Small values make
+	// miscorrections observable (§VI-D soft-match collisions).
+	TagBits int
+	// MaxTrials bounds the injection loop for models that rarely flip;
+	// 0 selects 1000 x Lines.
+	MaxTrials int
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Model == nil {
+		c.Model = Uniform{P: dram.FlipProbLPDDR4}
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 1000 * c.Lines
+	}
+	return c
+}
+
+// CampaignResult is one campaign's confusion matrix plus the device-side
+// flip attribution that satellite telemetry exposes.
+type CampaignResult struct {
+	// Model is the flip model's display name.
+	Model string `json:"model"`
+	// Mode is "correct" or "detect".
+	Mode string `json:"mode"`
+	// Matrix is the oracle's confusion matrix.
+	Matrix Matrix `json:"matrix"`
+	// Trials is the number of inject+read rounds performed (>= faulty
+	// lines for models that do not always flip).
+	Trials int `json:"trials"`
+	// Guesses is the total correction guesses the Guard spent.
+	Guesses uint64 `json:"guesses"`
+	// Device snapshots the DRAM counters, including FlipsInjected.
+	Device dram.Stats `json:"device"`
+	// HotRows lists the (bank, row) pairs that absorbed the most flips,
+	// most-hit first, capped at eight entries.
+	HotRows []dram.FlipCount `json:"hot_rows,omitempty"`
+}
+
+// RunCampaign executes one fault-injection campaign end to end: synthesise
+// page tables (§VI-B value locality), protect them through the memory
+// controller, inject faults with the configured model, replay page-table
+// walks through the Guard, and let the oracle classify every verdict.
+func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Lines <= 0 {
+		return CampaignResult{}, errors.New("fault: Lines must be positive")
+	}
+	k := cfg.SoftMatchK
+	if k == 0 {
+		k = 4
+	}
+	dev, err := dram.NewDevice(dram.Geometry{}, dram.Timing{})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	format, err := pte.FormatX86(40)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	key := make([]byte, mac.KeySize)
+	kr := stats.NewRNG(cfg.Seed ^ 0xF19)
+	for i := range key {
+		key[i] = byte(kr.Uint64())
+	}
+	guard, err := core.NewGuard(core.Config{
+		Format:           format,
+		Key:              key,
+		TagBits:          cfg.TagBits,
+		EnableCorrection: cfg.EnableCorrection,
+		SoftMatchK:       k,
+	})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	ctrl, err := memctrl.New(dev, guard, 0)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	alloc, err := ostable.NewFrameAllocator(4096, dev.Geometry().Capacity()/pte.PageSize-4096)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	synth := ostable.DefaultSynthConfig()
+	synth.Seed = cfg.Seed
+	pop, err := ostable.NewPopulation(synth, alloc)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	hmr, err := dram.NewHammerer(dev, dram.HammerConfig{
+		Model: cfg.Model,
+		Seed:  cfg.Seed ^ 0xFA17,
+	})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	oracle := NewOracle(format)
+	hmr.SetObserver(oracle.RecordFlip)
+
+	// Fixed pool of protected PTE lines from several synthetic processes,
+	// as in attack.RunCorrection: every model sees the same population.
+	type pooled struct {
+		addr      uint64
+		protected pte.Line
+	}
+	const poolProcesses = 6
+	var pool []pooled
+	for p := 0; p < poolProcesses; p++ {
+		tables, serr := pop.SynthesizeProcess()
+		if serr != nil {
+			return CampaignResult{}, serr
+		}
+		var flushErr error
+		tables.Lines(func(addr uint64, line pte.Line) {
+			if _, werr := ctrl.WriteLine(addr, line); werr != nil && flushErr == nil {
+				flushErr = werr
+			}
+		})
+		if flushErr != nil {
+			return CampaignResult{}, flushErr
+		}
+		tables.LeafLines(func(addr uint64, archLine pte.Line) {
+			oracle.Expect(addr, archLine)
+			pool = append(pool, pooled{addr: addr, protected: dev.ReadLine(addr)})
+		})
+		// Keep tables alive: freeing would recycle frames and alias pool
+		// addresses across processes.
+	}
+	if len(pool) == 0 {
+		return CampaignResult{}, errors.New("fault: empty line pool")
+	}
+	shuf := stats.NewRNG(cfg.Seed ^ 0x5F0F)
+	for i := len(pool) - 1; i > 0; i-- {
+		j := shuf.Intn(i + 1)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+
+	res := CampaignResult{Model: cfg.Model.Name(), Mode: modeName(cfg.EnableCorrection)}
+	for trial := 0; int(oracle.Matrix().Faulty()) < cfg.Lines; trial++ {
+		if trial >= cfg.MaxTrials {
+			break // model too weak to reach Lines faulty trials; report what we have
+		}
+		entry := pool[trial%len(pool)]
+		dev.WriteLine(entry.addr, entry.protected)
+		hmr.InjectFaults(entry.addr)
+
+		before := guard.Counters()
+		got, _, ok := ctrl.ReadLine(entry.addr, true)
+		after := guard.Counters()
+		res.Guesses += after.CorrectionGuesses - before.CorrectionGuesses
+		claimed := after.Corrections > before.Corrections
+
+		if _, jerr := oracle.Judge(entry.addr, got, !ok, claimed); jerr != nil {
+			return CampaignResult{}, jerr
+		}
+		res.Trials++
+		// Restore the pristine protected image for the next pass.
+		dev.WriteLine(entry.addr, entry.protected)
+	}
+
+	res.Matrix = oracle.Matrix()
+	res.Device = dev.Stats()
+	counts := dev.FlipCounts()
+	for i := 0; i < len(counts); i++ { // selection by flips, stable (bank,row) order
+		max := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j].Flips > counts[max].Flips {
+				max = j
+			}
+		}
+		counts[i], counts[max] = counts[max], counts[i]
+		if i == 7 {
+			break
+		}
+	}
+	if len(counts) > 8 {
+		counts = counts[:8]
+	}
+	res.HotRows = counts
+	if res.Matrix.FlipsInjected != res.Device.FlipsInjected {
+		return CampaignResult{}, fmt.Errorf("fault: oracle saw %d flips but device recorded %d",
+			res.Matrix.FlipsInjected, res.Device.FlipsInjected)
+	}
+	return res, nil
+}
+
+func modeName(correction bool) string {
+	if correction {
+		return "correct"
+	}
+	return "detect"
+}

@@ -1,0 +1,312 @@
+// Package fault is the pluggable fault-injection and recovery-validation
+// subsystem. It provides spatially-aware Rowhammer flip models beyond the
+// uniform per-bit Bernoulli of §VI-F — word-aligned bursts, per-DQ-pin
+// faults, true/anti-cell polarity, per-row severity variation, and
+// PThammer-style targeted PTE-bit flips — plus a ground-truth oracle that
+// records every injected flip and cross-checks PT-Guard verdicts into a
+// per-campaign confusion matrix, and a campaign runner that exercises the
+// Guard end to end under each model.
+//
+// The models implement dram.FlipModel and plug into dram.Hammerer through
+// HammerConfig.Model; existing callers that leave Model nil keep the
+// uniform Bernoulli behaviour.
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ptguard/internal/dram"
+	"ptguard/internal/pte"
+	"ptguard/internal/stats"
+)
+
+// lineBits is the number of bits in one 64-byte line.
+const lineBits = pte.LineBytes * 8
+
+// Uniform flips each bit of the line independently with probability P: the
+// paper's §VI-F methodology, the model dram.Hammerer applies by default.
+type Uniform struct {
+	// P is the per-bit flip probability.
+	P float64
+}
+
+// Name implements dram.FlipModel.
+func (m Uniform) Name() string { return fmt.Sprintf("uniform(p=%g)", m.P) }
+
+// FlipBits implements dram.FlipModel.
+func (m Uniform) FlipBits(rng *stats.RNG, _ pte.Line, _ dram.Location) []int {
+	var out []int
+	for bit := 0; bit < lineBits; bit++ {
+		if rng.Bernoulli(m.P) {
+			out = append(out, bit)
+		}
+	}
+	return out
+}
+
+// ExactBits flips exactly N distinct uniformly-chosen bits: the 1/2/3-bit
+// fault models under which the paper reports its §VI correction-coverage
+// table.
+type ExactBits struct {
+	// N is the exact number of distinct bit flips per line.
+	N int
+}
+
+// Name implements dram.FlipModel.
+func (m ExactBits) Name() string { return fmt.Sprintf("%dbit", m.N) }
+
+// FlipBits implements dram.FlipModel.
+func (m ExactBits) FlipBits(rng *stats.RNG, _ pte.Line, _ dram.Location) []int {
+	n := m.N
+	if n <= 0 {
+		return nil
+	}
+	if n > lineBits {
+		n = lineBits
+	}
+	seen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		b := rng.Intn(lineBits)
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Burst models a clustered multi-bit disturbance: with probability PLine a
+// run of 1..MaxRun adjacent bits inside one 64-bit word flips together.
+// Clustered flips inside a word are what multiple flips in one DRAM beat
+// look like at the line level, and they stress correction harder than
+// independent flips because several flips land in the same PTE.
+type Burst struct {
+	// PLine is the probability that a line receives a burst at all.
+	PLine float64
+	// MaxRun caps the burst length in bits; 0 selects 4.
+	MaxRun int
+}
+
+// Name implements dram.FlipModel.
+func (m Burst) Name() string {
+	return fmt.Sprintf("burst(p=%g,run=%d)", m.PLine, m.maxRun())
+}
+
+func (m Burst) maxRun() int {
+	if m.MaxRun <= 0 {
+		return 4
+	}
+	return m.MaxRun
+}
+
+// FlipBits implements dram.FlipModel.
+func (m Burst) FlipBits(rng *stats.RNG, _ pte.Line, _ dram.Location) []int {
+	if !rng.Bernoulli(m.PLine) {
+		return nil
+	}
+	run := 1 + rng.Intn(m.maxRun())
+	word := rng.Intn(pte.PTEsPerLine)
+	start := rng.Intn(64 - run + 1)
+	out := make([]int, run)
+	for i := range out {
+		out[i] = word*64 + start + i
+	}
+	return out
+}
+
+// DQPin models a weak DQ pin on one DRAM chip: the same in-word bit
+// position fails across several of the eight transfer beats (the eight
+// 64-bit words of a line), producing stride-64 flip patterns no
+// single-PTE-local model generates.
+type DQPin struct {
+	// PLine is the probability that a line is hit at all.
+	PLine float64
+	// Beats is the number of beats the pin corrupts; 0 selects 3.
+	Beats int
+}
+
+// Name implements dram.FlipModel.
+func (m DQPin) Name() string {
+	return fmt.Sprintf("dqpin(p=%g,beats=%d)", m.PLine, m.beats())
+}
+
+func (m DQPin) beats() int {
+	if m.Beats <= 0 {
+		return 3
+	}
+	if m.Beats > pte.PTEsPerLine {
+		return pte.PTEsPerLine
+	}
+	return m.Beats
+}
+
+// FlipBits implements dram.FlipModel.
+func (m DQPin) FlipBits(rng *stats.RNG, _ pte.Line, _ dram.Location) []int {
+	if !rng.Bernoulli(m.PLine) {
+		return nil
+	}
+	pin := rng.Intn(64)
+	beats := m.beats()
+	perm := rng.Perm(pte.PTEsPerLine)
+	out := make([]int, 0, beats)
+	for _, w := range perm[:beats] {
+		out = append(out, w*64+pin)
+	}
+	return out
+}
+
+// Polarity is the data-dependent model: DRAM cells store charge in true or
+// anti polarity, and Rowhammer discharges cells, so true-cell rows only
+// flip stored 1s to 0 and anti-cell rows only flip stored 0s to 1. Rows
+// alternate polarity by row index, as on real devices where cell polarity
+// is a layout property of the row.
+type Polarity struct {
+	// PTrue is the per-bit 1→0 flip probability on true-cell rows.
+	PTrue float64
+	// PAnti is the per-bit 0→1 flip probability on anti-cell rows.
+	PAnti float64
+}
+
+// Name implements dram.FlipModel.
+func (m Polarity) Name() string {
+	return fmt.Sprintf("polarity(p1to0=%g,p0to1=%g)", m.PTrue, m.PAnti)
+}
+
+// FlipBits implements dram.FlipModel.
+func (m Polarity) FlipBits(rng *stats.RNG, line pte.Line, loc dram.Location) []int {
+	trueCell := loc.Row%2 == 0
+	var out []int
+	for bit := 0; bit < lineBits; bit++ {
+		set := uint64(line[bit/64])>>uint(bit%64)&1 == 1
+		switch {
+		case trueCell && set:
+			if rng.Bernoulli(m.PTrue) {
+				out = append(out, bit)
+			}
+		case !trueCell && !set:
+			if rng.Bernoulli(m.PAnti) {
+				out = append(out, bit)
+			}
+		}
+	}
+	return out
+}
+
+// RowSeverity varies flip strength across rows: every (bank, row) draws a
+// fixed severity factor from Factors via a deterministic hash, modelling
+// the orders-of-magnitude spread in per-row Rowhammer susceptibility
+// (strong rows, weak rows, immune rows). Within a row the flips are
+// uniform Bernoulli at Base×factor.
+type RowSeverity struct {
+	// Base is the per-bit flip probability of a factor-1.0 row.
+	Base float64
+	// Factors is the severity palette rows draw from; empty selects
+	// {0, 0.25, 1, 4} (immune, weak, nominal, strong).
+	Factors []float64
+}
+
+// Name implements dram.FlipModel.
+func (m RowSeverity) Name() string { return fmt.Sprintf("rowsev(base=%g)", m.Base) }
+
+func (m RowSeverity) factors() []float64 {
+	if len(m.Factors) == 0 {
+		return []float64{0, 0.25, 1, 4}
+	}
+	return m.Factors
+}
+
+// rowFactor hashes (bank, row) into the severity palette with SplitMix64,
+// so a row's severity is stable across the whole campaign.
+func (m RowSeverity) rowFactor(loc dram.Location) float64 {
+	f := m.factors()
+	z := uint64(loc.Bank)<<32 | uint64(uint32(loc.Row))
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return f[z%uint64(len(f))]
+}
+
+// FlipBits implements dram.FlipModel.
+func (m RowSeverity) FlipBits(rng *stats.RNG, _ pte.Line, loc dram.Location) []int {
+	p := m.Base * m.rowFactor(loc)
+	if p > 1 {
+		p = 1
+	}
+	if p <= 0 {
+		return nil
+	}
+	var out []int
+	for bit := 0; bit < lineBits; bit++ {
+		if rng.Bernoulli(p) {
+			out = append(out, bit)
+		}
+	}
+	return out
+}
+
+// Targeted aims flips at specific PTE bit positions the way PThammer and
+// the §II-C exploits do: pick one PTE of the line and flip 1..MaxFlips
+// distinct bits drawn from Mask (e.g. the PFN field to redirect a
+// translation, or the U/S and NX flags to lift protections).
+type Targeted struct {
+	// Field names the targeted bit class for reports ("pfn", "flags").
+	Field string
+	// Mask selects the per-PTE candidate bits.
+	Mask uint64
+	// MaxFlips caps the flips per attacked PTE; 0 selects 2.
+	MaxFlips int
+}
+
+// TargetedPFN aims at the usable PFN field (bits 39:12 for M=40), the
+// translation-redirect attack of Fig. 1/PThammer.
+func TargetedPFN(maxFlips int) Targeted {
+	mask := (uint64(1)<<(40-pte.PageShift) - 1) << pte.PageShift
+	return Targeted{Field: "pfn", Mask: mask, MaxFlips: maxFlips}
+}
+
+// TargetedFlags aims at the permission flags (P/W/US/NX), the §II-C
+// metadata attacks.
+func TargetedFlags(maxFlips int) Targeted {
+	mask := uint64(1)<<pte.BitPresent | 1<<pte.BitWritable |
+		1<<pte.BitUserAccessible | 1<<pte.BitNX
+	return Targeted{Field: "flags", Mask: mask, MaxFlips: maxFlips}
+}
+
+// Name implements dram.FlipModel.
+func (m Targeted) Name() string {
+	return fmt.Sprintf("targeted(%s,flips=%d)", m.Field, m.maxFlips())
+}
+
+func (m Targeted) maxFlips() int {
+	if m.MaxFlips <= 0 {
+		return 2
+	}
+	return m.MaxFlips
+}
+
+// FlipBits implements dram.FlipModel.
+func (m Targeted) FlipBits(rng *stats.RNG, _ pte.Line, _ dram.Location) []int {
+	candidates := make([]int, 0, bits.OnesCount64(m.Mask))
+	mask := m.Mask
+	for mask != 0 {
+		candidates = append(candidates, bits.TrailingZeros64(mask))
+		mask &= mask - 1
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	n := 1 + rng.Intn(m.maxFlips())
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	entry := rng.Intn(pte.PTEsPerLine)
+	perm := rng.Perm(len(candidates))
+	out := make([]int, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, entry*64+candidates[i])
+	}
+	return out
+}

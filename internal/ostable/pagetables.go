@@ -304,6 +304,27 @@ func (p *PageTables) Free() {
 	p.lines = make(map[uint64]pte.Line)
 }
 
+// PageLines calls fn for each of the 64 cachelines of the table page at
+// base, in address order. Recovery uses it to re-flush a migrated page
+// through the memory controller.
+func (p *PageTables) PageLines(base uint64, fn func(addr uint64, line pte.Line)) {
+	base &^= uint64(pte.PageSize - 1)
+	for i := 0; i < linesPerTable; i++ {
+		addr := base + uint64(i*pte.LineBytes)
+		if line, ok := p.lines[addr]; ok {
+			fn(addr, line)
+		}
+	}
+}
+
+// ParentEntryAddr returns the physical address of the parent entry
+// referencing the table page at base, ok=false for the root (which has no
+// parent and cannot be remapped).
+func (p *PageTables) ParentEntryAddr(base uint64) (uint64, bool) {
+	ea, ok := p.parents[base&^uint64(pte.PageSize-1)]
+	return ea, ok
+}
+
 // RemapTablePage implements the OS response of §IV-G: after PT-Guard
 // reports bit-flips in a row, the kernel migrates the affected table page
 // to a fresh frame and repoints the parent entry, taking the vulnerable row

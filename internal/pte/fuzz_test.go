@@ -1,0 +1,59 @@
+package pte
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLineBytesRoundtrip: decoding any 64-byte memory image and re-encoding
+// it must be the identity, and the entry-level view must agree with the
+// little-endian byte layout.
+func FuzzLineBytesRoundtrip(f *testing.F) {
+	f.Add(make([]byte, LineBytes))
+	f.Add(bytes.Repeat([]byte{0xFF}, LineBytes))
+	seed := make([]byte, LineBytes)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var img [LineBytes]byte
+		copy(img[:], raw) // short inputs zero-pad, long inputs truncate
+		line := LineFromBytes(img)
+		if got := line.Bytes(); got != img {
+			t.Fatalf("roundtrip mismatch:\n in  %x\n out %x", img, got)
+		}
+		for i, e := range line {
+			for b := 0; b < 8; b++ {
+				if byte(uint64(e)>>uint(8*b)) != img[i*8+b] {
+					t.Fatalf("entry %d byte %d disagrees with image", i, b)
+				}
+			}
+		}
+	})
+}
+
+// FuzzEntryFieldOps: PFN insertion/extraction and bit set/clear must be
+// exact inverses and must not disturb other fields.
+func FuzzEntryFieldOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0x25), 0)
+	f.Add(^uint64(0), uint64(1)<<(PFNFieldWidth-1), BitNX)
+	f.Fuzz(func(t *testing.T, raw, pfn uint64, bit int) {
+		e := Entry(raw)
+		pfn &= 1<<PFNFieldWidth - 1
+		withPFN := e.WithPFN(pfn)
+		if got := withPFN.PFN(); got != pfn {
+			t.Fatalf("WithPFN(%#x).PFN() = %#x", pfn, got)
+		}
+		if uint64(withPFN)&^MaskPFNField != raw&^MaskPFNField {
+			t.Fatalf("WithPFN disturbed non-PFN bits: %#x -> %#x", raw, uint64(withPFN))
+		}
+		bit &= 63
+		if set := e.SetBit(bit, true); !set.Bit(bit) {
+			t.Fatalf("SetBit(%d, true) not observable", bit)
+		}
+		if cleared := e.SetBit(bit, false); cleared.Bit(bit) {
+			t.Fatalf("SetBit(%d, false) not observable", bit)
+		}
+	})
+}

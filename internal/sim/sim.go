@@ -85,6 +85,17 @@ type Config struct {
 	// through the controller mid-run (the OS PTE-access path the paper's
 	// full-system simulation captures, §VII-C).
 	ChurnEvery int
+	// EnableRecovery turns on the §IV-G OS response: when a walk hits an
+	// uncorrectable integrity failure, the kernel rebuilds the victim
+	// table line from its authoritative mapping state instead of
+	// panicking.
+	EnableRecovery bool
+	// RecoveryMaxRetries bounds rebuild attempts per failure; 0 selects 3.
+	RecoveryMaxRetries int
+	// RemapAfter is the number of integrity failures one table page may
+	// raise before recovery escalates to migrating the page to a fresh
+	// frame (quarantining the vulnerable row, §IV-G); 0 selects 2.
+	RemapAfter int
 }
 
 // System is one single-core simulated machine running one workload.
@@ -106,6 +117,11 @@ type System struct {
 
 	vbase      uint64
 	checkFails uint64
+
+	// recovery tracks the §IV-G OS-rebuild path; pageFailures counts
+	// integrity failures per table page to drive the remap escalation.
+	recovery     RecoveryStats
+	pageFailures map[uint64]int
 
 	// cleanPTE mirrors the cache contents for page-table lines: caches
 	// hold the *stripped* image the controller forwarded, not the
@@ -168,18 +184,19 @@ func newSystemShared(cfg Config, prof workload.Profile, dev *dram.Device, ctrl *
 		return cc
 	}
 	s := &System{
-		cfg:      cfg,
-		core:     coreModel,
-		tlb:      tl,
-		l1d:      mkCache(cache.L1Config),
-		l2:       mkCache(cache.L2Config),
-		l3:       mkCache(cache.L3Config),
-		ctrl:     ctrl,
-		dev:      dev,
-		alloc:    alloc,
-		rng:      stats.NewRNG(cfg.Seed ^ 0xD1CE),
-		vbase:    0x10_0000_0000 + uint64(coreIdx)<<40,
-		cleanPTE: make(map[uint64]pte.Line),
+		cfg:          cfg,
+		core:         coreModel,
+		tlb:          tl,
+		l1d:          mkCache(cache.L1Config),
+		l2:           mkCache(cache.L2Config),
+		l3:           mkCache(cache.L3Config),
+		ctrl:         ctrl,
+		dev:          dev,
+		alloc:        alloc,
+		rng:          stats.NewRNG(cfg.Seed ^ 0xD1CE),
+		vbase:        0x10_0000_0000 + uint64(coreIdx)<<40,
+		cleanPTE:     make(map[uint64]pte.Line),
+		pageFailures: make(map[uint64]int),
 	}
 	if err != nil {
 		return nil, err
@@ -326,6 +343,9 @@ func (s *System) readPTELine(addr uint64) (pte.Line, bool) {
 		s.l2.Invalidate(addr)
 		s.l3.Invalidate(addr)
 		delete(s.cleanPTE, addr)
+		if s.cfg.EnableRecovery {
+			return s.recoverPTELine(addr)
+		}
 		return pte.Line{}, false
 	}
 	s.cleanPTE[addr] = line
@@ -437,6 +457,7 @@ type Result struct {
 	PageWalks    uint64
 	CheckFails   uint64
 	Churns       uint64
+	Recovery     RecoveryStats
 	Guard        core.Counters
 	Ctrl         memctrl.Stats
 }
@@ -505,6 +526,7 @@ func (s *System) Run(n int) (Result, error) {
 		PageWalks:    s.walker.Stats().Walks,
 		CheckFails:   s.checkFails,
 		Churns:       s.churns,
+		Recovery:     s.recovery,
 		Ctrl:         s.ctrl.Stats(),
 	}
 	l3 := s.l3.Stats()

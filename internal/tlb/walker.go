@@ -140,6 +140,13 @@ func (w *Walker) InvalidateEntry(ea uint64) {
 	delete(w.values, ea)
 }
 
+// Flush drops the entire MMU cache (e.g. after the OS migrates a table
+// page: every cached upper-level entry may point at the old frame).
+func (w *Walker) Flush() {
+	w.mmu.Reset()
+	w.values = make(map[uint64]pte.Entry)
+}
+
 // WalkerStats summarises walker activity.
 type WalkerStats struct {
 	Walks, MemAccesses, MMUHits, CheckFailures uint64
