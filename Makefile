@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench
+.PHONY: ci vet build test race fuzz-smoke bench-smoke bench
 
 # ci is the gate every change must pass.
-ci: vet build test race fuzz-smoke
+ci: vet build test race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,12 @@ fuzz-smoke:
 	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzLineBytesRoundtrip -fuzztime=5s
 	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzEntryFieldOps -fuzztime=5s
 	$(GO) test ./internal/core -run=^$$ -fuzz=FuzzMACEmbedVerifyStrip -fuzztime=5s
+
+# One iteration of every benchmark: a build-and-run check that the bench
+# harnesses (including BenchmarkObsDisabledOverhead, the <2% disabled-path
+# observability budget) stay green without paying for full timings.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

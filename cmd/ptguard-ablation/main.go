@@ -52,25 +52,5 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, tbl := range tables {
-		if err := render(tbl, *csv, *jsonOut); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func render(t *report.Table, csv, jsonOut bool) error {
-	switch {
-	case jsonOut:
-		return t.RenderJSON(os.Stdout)
-	case csv:
-		return t.RenderCSV(os.Stdout)
-	default:
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		return nil
-	}
+	return report.EmitAll(os.Stdout, tables, report.Format(*csv, *jsonOut))
 }

@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ptguard/internal/attack"
 	"ptguard/internal/core"
+	"ptguard/internal/obs"
 	"ptguard/internal/pte"
 	"ptguard/internal/report"
 )
@@ -29,16 +31,118 @@ func run() error {
 		compare = flag.Bool("compare", false, "run the defense-coverage comparison")
 		trials  = flag.Int("trials", 500, "coverage trials (with -compare)")
 		flips   = flag.Int("max-flips", 8, "max random flips per trial (with -compare)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of a table")
+
+		// Observability (internal/obs; scenario mode only).
+		metricsOut = flag.String("metrics-out", "", "write per-scenario metric snapshots to this path (JSONL, or CSV when it ends in .csv)")
+		traceOut   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON to this path (open in Perfetto)")
+		traceCap   = flag.Int("trace-capacity", 0, "per-scenario trace ring capacity (0 = default 65536)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address while running")
 	)
 	flag.Parse()
 
-	if *compare {
-		return runCoverage(*seed, *trials, *flips)
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ptguard-attack: debug endpoint at http://%s/debug/vars\n", srv.Addr())
 	}
-	return runScenarios(*seed)
+
+	format := report.Format(*csv, *jsonOut)
+	if *compare {
+		return runCoverage(*seed, *trials, *flips, format)
+	}
+	sink := &obsSink{
+		metricsOut: *metricsOut,
+		traceOut:   *traceOut,
+		traceCap:   *traceCap,
+	}
+	if err := runScenarios(*seed, format, sink); err != nil {
+		return err
+	}
+	return sink.write()
 }
 
-func runScenarios(seed uint64) error {
+// obsSink accumulates the per-scenario observability data behind the
+// -metrics-out and -trace-out flags. A sink with neither output configured
+// hands out nil observers, keeping the scenarios on the zero-overhead path.
+type obsSink struct {
+	metricsOut string
+	traceOut   string
+	traceCap   int
+
+	points []obs.SeriesPoint
+	tracks []obs.TraceTrack
+}
+
+func (s *obsSink) enabled() bool {
+	return s.metricsOut != "" || s.traceOut != ""
+}
+
+// observer builds a fresh Observer for one scenario, or nil when disabled.
+func (s *obsSink) observer() *obs.Observer {
+	if !s.enabled() {
+		return nil
+	}
+	return obs.New(obs.Options{TraceCapacity: s.traceCap})
+}
+
+// collect snapshots one finished scenario's world into the sink.
+func (s *obsSink) collect(label string, w *attack.World, o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	w.PublishObs(o.Registry())
+	o.Snapshot(o.Now(), 0)
+	rm := o.RunMetrics(s.traceOut != "")
+	for _, p := range rm.Series {
+		p.Job = label
+		s.points = append(s.points, p)
+	}
+	if len(rm.Trace) > 0 {
+		s.tracks = append(s.tracks, obs.TraceTrack{Name: label, Events: rm.Trace})
+	}
+}
+
+func (s *obsSink) write() error {
+	if s.metricsOut != "" {
+		f, err := os.Create(s.metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(s.metricsOut, ".csv") {
+			err = obs.WriteSeriesCSV(f, s.points)
+		} else {
+			err = obs.WriteSeriesJSONL(f, s.points)
+		}
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if s.traceOut != "" {
+		f, err := os.Create(s.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, s.tracks); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runScenarios(seed uint64, format string, sink *obsSink) error {
 	tbl := report.New("Rowhammer exploit scenarios (end to end)",
 		"scenario", "system", "exploit succeeded", "detected", "notes")
 
@@ -51,10 +155,13 @@ func runScenarios(seed uint64) error {
 		if err != nil {
 			return fmt.Errorf("scenario %q (%s): building world: %w", name, system, err)
 		}
+		o := sink.observer()
+		w.Observe(o)
 		out, err := f(w)
 		if err != nil {
 			return fmt.Errorf("scenario %q (%s): %w", name, system, err)
 		}
+		sink.collect(name+"/"+system, w, o)
 		tbl.AddRow(name, system,
 			fmt.Sprintf("%t", out.ExploitSucceeded),
 			fmt.Sprintf("%t", out.Detected), out.Description)
@@ -92,6 +199,8 @@ func runScenarios(seed uint64) error {
 	if err != nil {
 		return fmt.Errorf("scenario %q: building world: %w", "known-plaintext CTB DoS", err)
 	}
+	o := sink.observer()
+	w.Observe(o)
 	tracked, err := w.CTBOverflowDoS(seed)
 	switch {
 	case errors.Is(err, core.ErrCTBFull):
@@ -103,10 +212,11 @@ func runScenarios(seed uint64) error {
 		tbl.AddRow("known-plaintext CTB DoS", "pt-guard", "false", "false",
 			fmt.Sprintf("%d collisions tracked without overflow", tracked))
 	}
-	return tbl.Render(os.Stdout)
+	sink.collect("known-plaintext CTB DoS/pt-guard", w, o)
+	return report.Emit(os.Stdout, tbl, format)
 }
 
-func runCoverage(seed uint64, trials, flips int) error {
+func runCoverage(seed uint64, trials, flips int, format string) error {
 	res, err := attack.RunCoverage(seed, trials, flips)
 	if err != nil {
 		return fmt.Errorf("coverage comparison (%d trials, <=%d flips): %w", trials, flips, err)
@@ -122,5 +232,5 @@ func runCoverage(seed uint64, trials, flips int) error {
 		report.Pct(100*float64(res.SECDEDSilent)/float64(res.Trials)))
 	tbl.AddRow("monotonic pointers", "pattern unprotected", report.I(res.MonotonicUnprotected),
 		report.Pct(100*float64(res.MonotonicUnprotected)/float64(res.Trials)))
-	return tbl.Render(os.Stdout)
+	return report.Emit(os.Stdout, tbl, format)
 }

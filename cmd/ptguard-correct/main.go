@@ -23,11 +23,12 @@ func main() {
 
 func run() error {
 	var (
-		lines = flag.Int("lines", 1000, "faulty PTE cachelines per probability")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		probs = flag.String("probs", "1/512,1/256,1/128", "comma-separated flip probabilities (fractions)")
-		softK = flag.Int("soft-k", 4, "tolerated MAC bit-faults (soft match)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of a table")
+		lines   = flag.Int("lines", 1000, "faulty PTE cachelines per probability")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		probs   = flag.String("probs", "1/512,1/256,1/128", "comma-separated flip probabilities (fractions)")
+		softK   = flag.Int("soft-k", 4, "tolerated MAC bit-faults (soft match)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -55,10 +56,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, ".")
 	}
 	fmt.Fprintln(os.Stderr)
-	if *csv {
-		return tbl.RenderCSV(os.Stdout)
-	}
-	return tbl.Render(os.Stdout)
+	return report.Emit(os.Stdout, tbl, report.Format(*csv, *jsonOut))
 }
 
 type prob struct {

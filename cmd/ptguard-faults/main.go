@@ -16,10 +16,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +26,7 @@ import (
 
 	"ptguard/internal/fault"
 	"ptguard/internal/harness"
+	"ptguard/internal/obs"
 	"ptguard/internal/report"
 )
 
@@ -54,6 +53,13 @@ func run() error {
 		softK  = flag.Int("soft-k", 0, "soft-match fault budget k (0 = paper's 4)")
 		tag    = flag.Int("tag-bits", 0, "MAC width in bits (0 = 96; small widths expose miscorrections)")
 		list   = flag.Bool("list-models", false, "print the supported model specs and exit")
+
+		// Observability (internal/obs).
+		metricsOut = flag.String("metrics-out", "", "write per-campaign time-series snapshots to this path (JSONL, or CSV when it ends in .csv)")
+		traceOut   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON to this path (open in Perfetto)")
+		snapEvery  = flag.Int("snapshot-every", 0, "trials between snapshots (0 = lines/4 when -metrics-out is set)")
+		traceCap   = flag.Int("trace-capacity", 0, "per-campaign trace ring capacity (0 = default 65536)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address during the campaign")
 	)
 	flag.Parse()
 
@@ -71,17 +77,40 @@ func run() error {
 		SoftMatchK: *softK,
 		TagBits:    *tag,
 	}
+	if *metricsOut != "" || *traceOut != "" {
+		every := *snapEvery
+		if every == 0 {
+			every = *lines / 4
+		}
+		spec.Obs = &harness.ObsSpec{
+			SnapshotEvery: every,
+			TraceCapacity: *traceCap,
+			IncludeTrace:  *traceOut != "",
+		}
+	}
 
 	opts := harness.Options{
 		Workers:     *workers,
 		Timeout:     *timeout,
 		Retries:     *retries,
 		JournalPath: *journal,
-		Fingerprint: fmt.Sprintf("faults-v1 seed=%d models=%s modes=%s lines=%d k=%d tag=%d",
-			*seed, *models, *modes, *lines, *softK, *tag),
+		Fingerprint: fmt.Sprintf("faults-v1 seed=%d models=%s modes=%s lines=%d k=%d tag=%d obs=%v",
+			*seed, *models, *modes, *lines, *softK, *tag, spec.Obs != nil),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+
+	if *debugAddr != "" {
+		live := &harness.LiveStatus{}
+		opts.LiveStatus = live
+		srv, derr := obs.StartDebugServer(*debugAddr)
+		if derr != nil {
+			return derr
+		}
+		defer srv.Close()
+		obs.PublishFunc("ptguard.campaign", func() any { return live.Snapshot() })
+		fmt.Fprintf(os.Stderr, "ptguard-faults: debug endpoint at http://%s/debug/vars\n", srv.Addr())
 	}
 
 	// SIGINT/SIGTERM cancel the campaign; the journal keeps what finished.
@@ -104,7 +133,66 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	return renderTables(os.Stdout, tables, *format)
+	if err := writeObsOutputs(results, *metricsOut, *traceOut); err != nil {
+		return err
+	}
+	return report.EmitAll(os.Stdout, tables, *format)
+}
+
+// writeObsOutputs merges per-campaign observability data into the
+// -metrics-out time series and the -trace-out Chrome trace, one labelled
+// series/track per (model, mode) campaign.
+func writeObsOutputs(results []fault.CampaignResult, metricsOut, traceOut string) error {
+	if metricsOut == "" && traceOut == "" {
+		return nil
+	}
+	var points []obs.SeriesPoint
+	var tracks []obs.TraceTrack
+	for _, r := range results {
+		if r.Obs == nil {
+			continue
+		}
+		label := r.Model + "/" + r.Mode
+		for _, p := range r.Obs.Series {
+			p.Job = label
+			points = append(points, p)
+		}
+		if len(r.Obs.Trace) > 0 {
+			tracks = append(tracks, obs.TraceTrack{Name: label, Events: r.Obs.Trace})
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(metricsOut, ".csv") {
+			err = obs.WriteSeriesCSV(f, points)
+		} else {
+			err = obs.WriteSeriesJSONL(f, points)
+		}
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, tracks); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // splitModels splits a comma-separated list of model specs. Spec parameters
@@ -135,37 +223,4 @@ func splitCSV(s string) []string {
 		}
 	}
 	return out
-}
-
-// renderTables writes the campaign tables in the requested format; json
-// emits a single document holding every table's machine-readable Results.
-func renderTables(w io.Writer, tables []*report.Table, format string) error {
-	switch format {
-	case "json":
-		all := make([]report.Results, len(tables))
-		for i, t := range tables {
-			all[i] = t.Results()
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(all)
-	case "csv":
-		for _, t := range tables {
-			if err := t.RenderCSV(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	case "table":
-		for _, t := range tables {
-			if err := t.Render(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
-	}
 }

@@ -29,6 +29,7 @@ func run() error {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		latencies = flag.String("latencies", "5,10,15,20", "comma-separated MAC latencies (cycles)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -66,10 +67,7 @@ func run() error {
 	}
 	fmt.Fprintln(os.Stderr)
 
-	if *csv {
-		return tbl.RenderCSV(os.Stdout)
-	}
-	return tbl.Render(os.Stdout)
+	return report.Emit(os.Stdout, tbl, report.Format(*csv, *jsonOut))
 }
 
 func parseInts(s string) ([]int, error) {

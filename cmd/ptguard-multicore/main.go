@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"ptguard/internal/harness"
+	"ptguard/internal/report"
 )
 
 func main() {
@@ -62,12 +63,5 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	switch {
-	case *jsonOut:
-		return tbl.RenderJSON(os.Stdout)
-	case *csvFlag:
-		return tbl.RenderCSV(os.Stdout)
-	default:
-		return tbl.Render(os.Stdout)
-	}
+	return report.Emit(os.Stdout, tbl, report.Format(*csvFlag, *jsonOut))
 }

@@ -27,6 +27,7 @@ func run() error {
 		memGB     = flag.Int("mem-gb", 16, "physical memory size in GiB")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		csv       = flag.Bool("csv", false, "emit per-process CSV instead of the summary")
+		jsonOut   = flag.Bool("json", false, "emit the summary as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func run() error {
 			tbl.AddRow(report.I(i+1), report.Pct(p.ZeroPct()),
 				report.Pct(p.ContiguousPct()), report.Pct(p.NonContiguousPct()))
 		}
-		return tbl.RenderCSV(os.Stdout)
+		return report.Emit(os.Stdout, tbl, report.FormatCSV)
 	}
 
 	tbl := report.New(
@@ -67,5 +68,5 @@ func run() error {
 	tbl.AddRow("contiguous PFNs", report.Pct(sum.ContigMean), report.F(sum.ContigSE, 3), "23.73%")
 	tbl.AddRow("non-contiguous PFNs", report.Pct(sum.NonContMean), "", "12.14%")
 	tbl.AddRow("flag-uniform lines", report.Pct(sum.FlagUniform), "", ">99%")
-	return tbl.Render(os.Stdout)
+	return report.Emit(os.Stdout, tbl, report.Format(false, *jsonOut))
 }

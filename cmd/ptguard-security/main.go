@@ -26,6 +26,7 @@ func run() error {
 		gMax      = flag.Int("gmax", mac.GMaxPaper, "maximum correction guesses")
 		attemptNs = flag.Float64("attempt-ns", 50, "nanoseconds per attack attempt")
 		csv       = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of tables")
 	)
 	flag.Parse()
 
@@ -65,18 +66,5 @@ func run() error {
 		eq2.AddRow(p.label, report.I(k), fmt.Sprintf("%.4g", pu))
 	}
 
-	render := func(t *report.Table) error {
-		if *csv {
-			return t.RenderCSV(os.Stdout)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		return nil
-	}
-	if err := render(eq1); err != nil {
-		return err
-	}
-	return render(eq2)
+	return report.EmitAll(os.Stdout, []*report.Table{eq1, eq2}, report.Format(*csv, *jsonOut))
 }

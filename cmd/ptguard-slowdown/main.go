@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"ptguard/internal/harness"
+	"ptguard/internal/report"
 	"ptguard/internal/sim"
 )
 
@@ -64,18 +65,5 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, tbl := range tables {
-		switch {
-		case *jsonOut:
-			err = tbl.RenderJSON(os.Stdout)
-		case *csv:
-			err = tbl.RenderCSV(os.Stdout)
-		default:
-			err = tbl.Render(os.Stdout)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return report.EmitAll(os.Stdout, tables, report.Format(*csv, *jsonOut))
 }

@@ -13,18 +13,18 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"ptguard/internal/harness"
+	"ptguard/internal/obs"
 	"ptguard/internal/report"
 	"ptguard/internal/sim"
 )
@@ -65,6 +65,13 @@ func run() error {
 		ablLines = flag.Int("ablation-lines", 400, "ablation: faulty lines per configuration")
 		flipProb = flag.Float64("flip-prob", 1.0/128, "ablation: per-bit flip probability")
 		corLines = flag.Int("correction-lines", 400, "correction: faulty lines per probability")
+
+		// Observability (internal/obs; slowdown section only).
+		metricsOut = flag.String("metrics-out", "", "write per-run time-series snapshots to this path (JSONL, or CSV when it ends in .csv)")
+		traceOut   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON to this path (open in Perfetto)")
+		snapEvery  = flag.Int("snapshot-every", 0, "instructions between snapshots (0 = instructions/4 when -metrics-out is set)")
+		traceCap   = flag.Int("trace-capacity", 0, "per-run trace ring capacity (0 = default 65536)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address during the campaign")
 	)
 	flag.Parse()
 
@@ -80,6 +87,17 @@ func run() error {
 	slowdownSpec := harness.SlowdownSpec{
 		Workloads: names, Warmup: *warmup, Instructions: *instr, MACLatencies: lats,
 	}
+	if *metricsOut != "" || *traceOut != "" {
+		every := *snapEvery
+		if every == 0 {
+			every = *instr / 4
+		}
+		slowdownSpec.Obs = &harness.ObsSpec{
+			SnapshotEvery: every,
+			TraceCapacity: *traceCap,
+			IncludeTrace:  *traceOut != "",
+		}
+	}
 	multicoreSpec := harness.MulticoreSpec{
 		SameMixes: *sameN, MixMixes: *mixN,
 		Warmup: *mcWarmup, Instructions: *mcInstr, Model: *mcModel,
@@ -93,18 +111,32 @@ func run() error {
 		Retries:     *retries,
 		JournalPath: *journal,
 		Fingerprint: fmt.Sprintf(
-			"sweep-v1 seed=%d warmup=%d instr=%d lats=%s workloads=%s mc=%d/%d/%d/%d/%s abl=%d/%g cor=%d",
+			"sweep-v1 seed=%d warmup=%d instr=%d lats=%s workloads=%s mc=%d/%d/%d/%d/%s abl=%d/%g cor=%d obs=%v",
 			*seed, *warmup, *instr, *macLats, *workloads,
-			*sameN, *mixN, *mcWarmup, *mcInstr, *mcModel, *ablLines, *flipProb, *corLines),
+			*sameN, *mixN, *mcWarmup, *mcInstr, *mcModel, *ablLines, *flipProb, *corLines,
+			slowdownSpec.Obs != nil),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+
+	if *debugAddr != "" {
+		live := &harness.LiveStatus{}
+		opts.LiveStatus = live
+		srv, derr := obs.StartDebugServer(*debugAddr)
+		if derr != nil {
+			return derr
+		}
+		defer srv.Close()
+		obs.PublishFunc("ptguard.campaign", func() any { return live.Snapshot() })
+		fmt.Fprintf(os.Stderr, "ptguard-sweep: debug endpoint at http://%s/debug/vars\n", srv.Addr())
 	}
 
 	// SIGINT/SIGTERM cancel the campaign; the journal keeps what finished.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var slowdownResults []harness.SlowdownResult
 	var tables []*report.Table
 	for _, section := range strings.Split(*sections, ",") {
 		var (
@@ -118,6 +150,7 @@ func run() error {
 			sectionTables, serr = runSection(ctx, opts, *seed,
 				slowdownSpec.Jobs,
 				func(rs []harness.SlowdownResult) ([]*report.Table, error) {
+					slowdownResults = rs
 					return harness.SlowdownTables(rs, nil)
 				})
 		case "multicore":
@@ -148,7 +181,74 @@ func run() error {
 		}
 		tables = append(tables, sectionTables...)
 	}
-	return renderTables(os.Stdout, tables, *format)
+	if err := writeObsOutputs(slowdownResults, *metricsOut, *traceOut); err != nil {
+		return err
+	}
+	return report.EmitAll(os.Stdout, tables, *format)
+}
+
+// writeObsOutputs merges the per-job observability data of the slowdown
+// section into the -metrics-out time series and the -trace-out Chrome trace,
+// one labelled series/track per (workload, MAC latency, mode) run.
+func writeObsOutputs(results []harness.SlowdownResult, metricsOut, traceOut string) error {
+	if metricsOut == "" && traceOut == "" {
+		return nil
+	}
+	var points []obs.SeriesPoint
+	var tracks []obs.TraceTrack
+	for _, r := range results {
+		modes := make([]string, 0, len(r.Obs))
+		for m := range r.Obs {
+			modes = append(modes, m)
+		}
+		sort.Strings(modes)
+		for _, m := range modes {
+			rm := r.Obs[m]
+			if rm == nil {
+				continue
+			}
+			label := fmt.Sprintf("%s/mac%d/%s", r.Comparison.Workload, r.MACLatency, m)
+			for _, p := range rm.Series {
+				p.Job = label
+				points = append(points, p)
+			}
+			if len(rm.Trace) > 0 {
+				tracks = append(tracks, obs.TraceTrack{Name: label, Events: rm.Trace})
+			}
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(metricsOut, ".csv") {
+			err = obs.WriteSeriesCSV(f, points)
+		} else {
+			err = obs.WriteSeriesJSONL(f, points)
+		}
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, tracks); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runSection expands one campaign section into jobs, runs them through the
@@ -173,39 +273,6 @@ func runSection[R any](
 		return nil, err
 	}
 	return aggregate(results)
-}
-
-// renderTables writes all campaign tables in the requested format; json
-// emits a single document holding every table's machine-readable Results.
-func renderTables(w io.Writer, tables []*report.Table, format string) error {
-	switch format {
-	case "json":
-		all := make([]report.Results, len(tables))
-		for i, t := range tables {
-			all[i] = t.Results()
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(all)
-	case "csv":
-		for _, t := range tables {
-			if err := t.RenderCSV(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	case "table":
-		for _, t := range tables {
-			if err := t.Render(w); err != nil {
-				return err
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
-	}
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -27,6 +27,7 @@ func run() error {
 		trials   = flag.Int("trials", 500, "faulty lines per probability")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -57,8 +58,5 @@ func run() error {
 		fmt.Fprintf(os.Stderr, ".")
 	}
 	fmt.Fprintln(os.Stderr)
-	if *csv {
-		return tbl.RenderCSV(os.Stdout)
-	}
-	return tbl.Render(os.Stdout)
+	return report.Emit(os.Stdout, tbl, report.Format(*csv, *jsonOut))
 }

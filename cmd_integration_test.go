@@ -4,6 +4,8 @@
 package ptguard
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -116,4 +118,74 @@ func TestCommandLineTools(t *testing.T) {
 	if err := cmd.Run(); err == nil {
 		t.Error("ptguard-report accepted an unknown table")
 	}
+
+	// Observability outputs: one sweep point with -metrics-out/-trace-out
+	// must yield a JSONL time series with at least two snapshots per run
+	// and a parseable Chrome trace_event document.
+	t.Run("ptguard-sweep_obs_outputs", func(t *testing.T) {
+		outDir := t.TempDir()
+		metrics := filepath.Join(outDir, "metrics.jsonl")
+		trace := filepath.Join(outDir, "trace.json")
+		cmd := exec.Command(filepath.Join(binDir, "ptguard-sweep"),
+			"-sections", "slowdown", "-workloads", "leela",
+			"-warmup", "1000", "-instructions", "4000", "-quiet",
+			"-metrics-out", metrics, "-trace-out", trace,
+			"-snapshot-every", "1000")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("sweep with obs outputs: %v\n%s", err, out)
+		}
+
+		f, err := os.Open(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		perJob := map[string]int{}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var p struct {
+				Job          string            `json:"job"`
+				Instructions uint64            `json:"instructions"`
+				Counters     map[string]uint64 `json:"counters"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+				t.Fatalf("metrics line is not JSON: %v\n%s", err, sc.Text())
+			}
+			if p.Counters["cpu.instructions"] == 0 {
+				t.Errorf("snapshot without cpu.instructions: %s", sc.Text())
+			}
+			perJob[p.Job]++
+		}
+		if len(perJob) == 0 {
+			t.Fatal("metrics file is empty")
+		}
+		for job, n := range perJob {
+			if n < 2 {
+				t.Errorf("run %q has %d snapshots, want >= 2", job, n)
+			}
+		}
+
+		raw, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph string `json:"ph"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("trace is not Chrome trace JSON: %v", err)
+		}
+		var complete bool
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" {
+				complete = true
+				break
+			}
+		}
+		if !complete {
+			t.Error("trace holds no complete events")
+		}
+	})
 }

@@ -14,6 +14,7 @@ import (
 	"ptguard/internal/dram"
 	"ptguard/internal/mac"
 	"ptguard/internal/memctrl"
+	"ptguard/internal/obs"
 	"ptguard/internal/ostable"
 	"ptguard/internal/pte"
 	"ptguard/internal/stats"
@@ -216,6 +217,15 @@ func (w *World) MetadataAttack(victimVaddr uint64, bit int) (Outcome, error) {
 
 // Guard exposes the world's PT-Guard instance (nil when unprotected).
 func (w *World) Guard() *core.Guard { return w.guard }
+
+// Observe attaches the observability subsystem to the sandbox's memory
+// controller (and through it the guard and DRAM device), so hammering and
+// verification emit trace events and PublishObs can snapshot the counters.
+func (w *World) Observe(o *obs.Observer) { w.Ctrl.SetObserver(o) }
+
+// PublishObs feeds the sandbox's controller/guard/device counters into the
+// metric registry (a nil registry is a no-op).
+func (w *World) PublishObs(r *obs.Registry) { w.Ctrl.PublishObs(r) }
 
 // Shootdown models the TLB/MMU-cache shootdown the OS performs after
 // modifying page tables (e.g. the §IV-G row-remap): the walker's cached

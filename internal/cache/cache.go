@@ -5,7 +5,9 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 
+	"ptguard/internal/obs"
 	"ptguard/internal/pte"
 )
 
@@ -166,6 +168,20 @@ func (c *Cache) Stats() Stats {
 		Accesses: c.accesses, Hits: c.hits, Misses: c.misses,
 		Evictions: c.evictions, Writebacks: c.writebacks,
 	}
+}
+
+// PublishObs feeds the cache counters into the metric registry under
+// "cache.<name>." (the obs snapshot path; a nil registry is a no-op).
+func (c *Cache) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p := "cache." + strings.ToLower(c.cfg.Name) + "."
+	r.SetCounter(p+"accesses", c.accesses)
+	r.SetCounter(p+"hits", c.hits)
+	r.SetCounter(p+"misses", c.misses)
+	r.SetCounter(p+"evictions", c.evictions)
+	r.SetCounter(p+"writebacks", c.writebacks)
 }
 
 // Reset clears contents and counters.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"ptguard/internal/mac"
+	"ptguard/internal/obs"
 	"ptguard/internal/pte"
 )
 
@@ -125,6 +126,10 @@ type Guard struct {
 	zeroTag mac.Tag
 	ident   []byte // identifier bit-stream, sized to the identifier field
 	ctr     Counters
+
+	// o, when set, receives MAC embed/verify/strip and CTB hit/insert/full
+	// trace events (nil = observability disabled; every emit is nil-safe).
+	o *obs.Observer
 }
 
 // NewGuard validates cfg and builds a Guard.
@@ -181,6 +186,32 @@ func (g *Guard) Counters() Counters { return g.ctr }
 // ResetCounters zeroes the activity counters.
 func (g *Guard) ResetCounters() { g.ctr = Counters{} }
 
+// SetObserver attaches the observability subsystem; MAC and CTB activity
+// emit trace events through it. A nil observer detaches.
+func (g *Guard) SetObserver(o *obs.Observer) { g.o = o }
+
+// PublishObs feeds the Guard counters into the metric registry under
+// "guard." (the obs snapshot path; a nil registry is a no-op).
+func (g *Guard) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCounter("guard.writes", g.ctr.Writes)
+	r.SetCounter("guard.reads", g.ctr.Reads)
+	r.SetCounter("guard.protected_writes", g.ctr.ProtectedWrites)
+	r.SetCounter("guard.write_mac_computes", g.ctr.WriteMACComputes)
+	r.SetCounter("guard.read_mac_computes", g.ctr.ReadMACComputes)
+	r.SetCounter("guard.pte_walk_checks", g.ctr.PTEWalkChecks)
+	r.SetCounter("guard.verify_failures", g.ctr.VerifyFailures)
+	r.SetCounter("guard.corrections", g.ctr.Corrections)
+	r.SetCounter("guard.correction_guesses", g.ctr.CorrectionGuesses)
+	r.SetCounter("guard.stripped_reads", g.ctr.StrippedReads)
+	r.SetCounter("guard.identifier_skips", g.ctr.IdentifierSkips)
+	r.SetCounter("guard.zero_fastpath_hits", g.ctr.ZeroFastPathHits)
+	r.SetCounter("guard.collisions_tracked", g.ctr.CollisionsTracked)
+	r.SetGauge("guard.ctb_occupancy", float64(g.ctb.len()))
+}
+
 // CTBLen returns the number of colliding lines currently tracked.
 func (g *Guard) CTBLen() int { return g.ctb.len() }
 
@@ -236,6 +267,7 @@ func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
 			tag = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 			g.ctr.WriteMACComputes++
 			res.MACComputed = true
+			g.o.Emit("mac", "embed", uint64(g.cfg.MACLatencyCycles))
 		}
 		out := scatterField(line, f.MACMask, tag.Bytes())
 		if g.cfg.OptIdentifier {
@@ -264,10 +296,12 @@ func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
 		res.MACComputed = true
 		if bytesEqual(gatherField(line, f.MACMask), tag.Bytes()) {
 			if err := g.ctb.add(addr); err != nil {
+				g.o.Emit("ctb", "full", 0)
 				return res, err
 			}
 			res.CollisionTracked = true
 			g.ctr.CollisionsTracked++
+			g.o.Emit("ctb", "insert", 0)
 		} else {
 			g.ctb.remove(addr)
 		}
@@ -302,6 +336,7 @@ func (g *Guard) OnRead(line pte.Line, addr uint64, isPTE bool) ReadResult {
 	g.ctr.Reads++
 	if g.ctb.contains(addr) {
 		// Colliding line: forward unmodified, no MAC check (§IV-D).
+		g.o.Emit("ctb", "hit", 0)
 		return ReadResult{Line: line}
 	}
 	if isPTE {
@@ -320,16 +355,19 @@ func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
 	if g.cfg.OptZeroMAC && g.isZeroProtected(line, stored, 0) {
 		g.ctr.ZeroFastPathHits++
 		g.ctr.StrippedReads++
+		g.o.Emit("mac", "zero", 0)
 		return ReadResult{Line: g.strip(line), Stripped: true}
 	}
 
 	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 	g.ctr.ReadMACComputes++
+	g.o.Emit("mac", "verify", uint64(g.cfg.MACLatencyCycles))
 	res := ReadResult{MACComputed: true}
 	if computed.Equal(stored) {
 		g.ctr.StrippedReads++
 		res.Line = g.strip(line)
 		res.Stripped = true
+		g.o.Emit("mac", "strip", 0)
 		return res
 	}
 
@@ -367,15 +405,18 @@ func (g *Guard) readData(line pte.Line, addr uint64) ReadResult {
 	if g.cfg.OptZeroMAC && g.isZeroProtected(line, stored, 0) {
 		g.ctr.ZeroFastPathHits++
 		g.ctr.StrippedReads++
+		g.o.Emit("mac", "zero", 0)
 		return ReadResult{Line: g.strip(line), Stripped: true}
 	}
 	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 	g.ctr.ReadMACComputes++
+	g.o.Emit("mac", "verify", uint64(g.cfg.MACLatencyCycles))
 	res := ReadResult{MACComputed: true}
 	if computed.Equal(stored) {
 		g.ctr.StrippedReads++
 		res.Line = g.strip(line)
 		res.Stripped = true
+		g.o.Emit("mac", "strip", 0)
 		return res
 	}
 	// MAC mismatch on a data read: either the line never carried a MAC,

@@ -4,7 +4,11 @@
 // of the miss latency through memory-level parallelism.
 package cpu
 
-import "errors"
+import (
+	"errors"
+
+	"ptguard/internal/obs"
+)
 
 // DefaultFreqGHz is the core clock (Table III).
 const DefaultFreqGHz = 3.0
@@ -87,3 +91,14 @@ func (c *Core) Seconds() float64 { return c.cycles / (c.cfg.FreqGHz * 1e9) }
 
 // ResetStats zeroes the cycle and instruction counters (post-warm-up).
 func (c *Core) ResetStats() { c.cycles, c.instrs = 0, 0 }
+
+// PublishObs feeds the core counters into the metric registry under "cpu."
+// (the obs snapshot path; a nil registry is a no-op).
+func (c *Core) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCounter("cpu.instructions", c.instrs)
+	r.SetGauge("cpu.cycles", c.cycles)
+	r.SetGauge("cpu.ipc", c.IPC())
+}

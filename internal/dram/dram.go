@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ptguard/internal/obs"
 	"ptguard/internal/pte"
 )
 
@@ -91,6 +92,10 @@ type Device struct {
 
 	reads, writes, rowHits, rowMisses uint64
 	refreshWindows                    uint64
+
+	// o, when set, receives row-activation and fault-injection trace
+	// events (nil = observability disabled, the zero-overhead default).
+	o *obs.Observer
 }
 
 type bankRow struct {
@@ -210,6 +215,10 @@ func (d *Device) RefreshWindows() uint64 { return d.refreshWindows }
 
 func (d *Device) activate(bankIdx, row int) {
 	d.activations[bankRow{bank: bankIdx, row: row}]++
+	if d.o != nil {
+		d.o.EmitArgs("dram", "act", 0,
+			map[string]uint64{"bank": uint64(bankIdx), "row": uint64(row)})
+	}
 }
 
 // Activations returns the activation count of the row containing addr since
@@ -277,12 +286,37 @@ func (d *Device) Stats() Stats {
 	}
 }
 
+// SetObserver attaches the observability subsystem: row activations emit
+// "dram/act" trace events and injected flips emit "fault/flip" events.
+// A nil observer detaches (the zero-overhead default).
+func (d *Device) SetObserver(o *obs.Observer) { d.o = o }
+
+// PublishObs feeds the device counters into the metric registry under
+// "dram." (the obs snapshot path; a nil registry is a no-op). Row misses
+// are published as row activations: every miss activates a row.
+func (d *Device) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCounter("dram.reads", d.reads)
+	r.SetCounter("dram.writes", d.writes)
+	r.SetCounter("dram.row_hits", d.rowHits)
+	r.SetCounter("dram.row_activations", d.rowMisses)
+	r.SetCounter("dram.flips_injected", d.flipsTotal)
+	r.SetGauge("dram.stored_lines", float64(len(d.lines)))
+}
+
 // recordFlips attributes n injected flips to the (bank, row) of addr.
 func (d *Device) recordFlips(addr uint64, n int) {
 	loc := d.Locate(addr)
 	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
 	d.flips[bankRow{bank: bankIdx, row: loc.Row}] += uint64(n)
 	d.flipsTotal += uint64(n)
+	if d.o != nil {
+		d.o.EmitArgs("fault", "flip", 0, map[string]uint64{
+			"bank": uint64(bankIdx), "row": uint64(loc.Row), "flips": uint64(n),
+		})
+	}
 }
 
 // FlipCount is the number of injected flips one (bank, row) received.

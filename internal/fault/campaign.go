@@ -8,6 +8,7 @@ import (
 	"ptguard/internal/dram"
 	"ptguard/internal/mac"
 	"ptguard/internal/memctrl"
+	"ptguard/internal/obs"
 	"ptguard/internal/ostable"
 	"ptguard/internal/pte"
 	"ptguard/internal/stats"
@@ -37,6 +38,11 @@ type CampaignConfig struct {
 	// MaxTrials bounds the injection loop for models that rarely flip;
 	// 0 selects 1000 x Lines.
 	MaxTrials int
+	// Obs, when set, builds an Observer over these options for the
+	// campaign: Guard/DRAM events are traced (stamped with a per-trial
+	// tick), metrics feed the registry, and the snapshot cadence counts
+	// trials. The collected RunMetrics land in CampaignResult.Obs.
+	Obs *obs.Options
 }
 
 func (c CampaignConfig) withDefaults() CampaignConfig {
@@ -68,6 +74,9 @@ type CampaignResult struct {
 	// HotRows lists the (bank, row) pairs that absorbed the most flips,
 	// most-hit first, capped at eight entries.
 	HotRows []dram.FlipCount `json:"hot_rows,omitempty"`
+	// Obs carries the campaign's observability data when CampaignConfig.Obs
+	// was set.
+	Obs *obs.RunMetrics `json:"obs,omitempty"`
 }
 
 // RunCampaign executes one fault-injection campaign end to end: synthesise
@@ -109,6 +118,12 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	ctrl, err := memctrl.New(dev, guard, 0)
 	if err != nil {
 		return CampaignResult{}, err
+	}
+	var observer *obs.Observer
+	if cfg.Obs != nil {
+		observer = obs.New(*cfg.Obs)
+		// No core clock here: the internal monotonic tick orders events.
+		ctrl.SetObserver(observer)
 	}
 	alloc, err := ostable.NewFrameAllocator(4096, dev.Geometry().Capacity()/pte.PageSize-4096)
 	if err != nil {
@@ -188,6 +203,10 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 			return CampaignResult{}, jerr
 		}
 		res.Trials++
+		if observer.ShouldSnapshot(uint64(res.Trials)) {
+			ctrl.PublishObs(observer.Registry())
+			observer.Snapshot(observer.Now(), uint64(res.Trials))
+		}
 		// Restore the pristine protected image for the next pass.
 		dev.WriteLine(entry.addr, entry.protected)
 	}
@@ -214,6 +233,12 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	if res.Matrix.FlipsInjected != res.Device.FlipsInjected {
 		return CampaignResult{}, fmt.Errorf("fault: oracle saw %d flips but device recorded %d",
 			res.Matrix.FlipsInjected, res.Device.FlipsInjected)
+	}
+	if observer != nil {
+		ctrl.PublishObs(observer.Registry())
+		observer.Registry().SetCounter("fault.trials", uint64(res.Trials))
+		observer.Snapshot(observer.Now(), uint64(res.Trials))
+		res.Obs = observer.RunMetrics(true)
 	}
 	return res, nil
 }

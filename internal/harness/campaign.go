@@ -8,6 +8,7 @@ import (
 
 	"ptguard/internal/attack"
 	"ptguard/internal/mac"
+	"ptguard/internal/obs"
 	"ptguard/internal/report"
 	"ptguard/internal/sim"
 	"ptguard/internal/stats"
@@ -38,6 +39,39 @@ func DeriveSeed(campaignSeed uint64, key string) uint64 {
 	return z
 }
 
+// ObsSpec turns on per-job observability for a campaign: each job's runs
+// collect metrics, periodic time-series snapshots, and (optionally) trace
+// events, all embedded in the job result so the checkpoint journal carries
+// them. A nil *ObsSpec disables observability entirely.
+type ObsSpec struct {
+	// SnapshotEvery is the retired-instruction cadence of time-series
+	// snapshots (trials for fault campaigns); 0 records only the run-final
+	// snapshot.
+	SnapshotEvery int
+	// TraceCapacity bounds each run's event ring; 0 selects the default,
+	// negative disables tracing.
+	TraceCapacity int
+	// IncludeTrace copies each run's traced events into the job result
+	// (and therefore into the journal — mind the size on large campaigns).
+	IncludeTrace bool
+}
+
+// options maps the spec onto obs.Options; nil stays nil (disabled).
+func (o *ObsSpec) options() *obs.Options {
+	if o == nil {
+		return nil
+	}
+	return &obs.Options{TraceCapacity: o.TraceCapacity, SnapshotEvery: o.SnapshotEvery}
+}
+
+// strip drops the trace payload unless the spec asked for it.
+func (o *ObsSpec) strip(rm *obs.RunMetrics) *obs.RunMetrics {
+	if rm != nil && (o == nil || !o.IncludeTrace) {
+		rm.Trace, rm.Dropped = nil, 0
+	}
+	return rm
+}
+
 // ---------------------------------------------------------------------------
 // Fig. 6/7: per-workload slowdown grid.
 
@@ -55,13 +89,18 @@ type SlowdownSpec struct {
 	Instructions int
 	// MACLatencies is the Fig. 7 sweep; empty selects {10}.
 	MACLatencies []int
+	// Obs, when set, collects per-mode metrics/series/trace in each job
+	// result.
+	Obs *ObsSpec
 }
 
 // SlowdownResult is one grid point: a workload's cross-mode comparison at
-// one MAC latency.
+// one MAC latency. Obs, when the campaign ran with an ObsSpec, carries the
+// per-mode observability data keyed by mode name.
 type SlowdownResult struct {
-	MACLatency int            `json:"mac_latency"`
-	Comparison sim.Comparison `json:"comparison"`
+	MACLatency int                        `json:"mac_latency"`
+	Comparison sim.Comparison             `json:"comparison"`
+	Obs        map[string]*obs.RunMetrics `json:"obs,omitempty"`
 }
 
 func (s SlowdownSpec) withDefaults() SlowdownSpec {
@@ -104,8 +143,15 @@ func (s SlowdownSpec) Jobs(campaignSeed uint64) ([]Job[SlowdownResult], error) {
 			jobs = append(jobs, Job[SlowdownResult]{
 				Key: key,
 				Run: func(context.Context) (SlowdownResult, error) {
-					cmp, err := sim.Compare(prof, s.Warmup, s.Instructions, seed, lat, s.Modes)
-					return SlowdownResult{MACLatency: lat, Comparison: cmp}, err
+					cmp, met, err := sim.CompareObserved(prof, s.Warmup, s.Instructions, seed, lat, s.Modes, s.Obs.options())
+					res := SlowdownResult{MACLatency: lat, Comparison: cmp}
+					if met != nil {
+						res.Obs = make(map[string]*obs.RunMetrics, len(met))
+						for m, rm := range met {
+							res.Obs[m.String()] = s.Obs.strip(rm)
+						}
+					}
+					return res, err
 				},
 			})
 		}

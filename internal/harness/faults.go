@@ -35,6 +35,9 @@ type FaultSpec struct {
 	SoftMatchK int
 	// TagBits overrides the MAC width; 0 selects 96.
 	TagBits int
+	// Obs, when set, collects per-campaign metrics/series/trace in each
+	// job result (snapshot cadence counts trials).
+	Obs *ObsSpec
 }
 
 func (s FaultSpec) withDefaults() FaultSpec {
@@ -88,14 +91,17 @@ func (s FaultSpec) Jobs(campaignSeed uint64) ([]Job[fault.CampaignResult], error
 			jobs = append(jobs, Job[fault.CampaignResult]{
 				Key: key,
 				Run: func(context.Context) (fault.CampaignResult, error) {
-					return fault.RunCampaign(fault.CampaignConfig{
+					res, err := fault.RunCampaign(fault.CampaignConfig{
 						Model:            m,
 						Lines:            s.Lines,
 						Seed:             seed,
 						EnableCorrection: correction,
 						SoftMatchK:       s.SoftMatchK,
 						TagBits:          s.TagBits,
+						Obs:              s.Obs.options(),
 					})
+					res.Obs = s.Obs.strip(res.Obs)
+					return res, err
 				},
 			})
 		}

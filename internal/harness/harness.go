@@ -58,6 +58,10 @@ type Options struct {
 	Progress io.Writer
 	// ProgressEvery is the reporting period; 0 selects 2s.
 	ProgressEvery time.Duration
+	// LiveStatus, when non-nil, is bound to the campaign's live counters
+	// so external pollers (the -debug-addr expvar endpoint) can snapshot
+	// progress while the campaign runs.
+	LiveStatus *LiveStatus
 }
 
 // Outcome is one job's final state.
@@ -167,6 +171,7 @@ func Run[R any](ctx context.Context, jobs []Job[R], opts Options) (*Report[R], e
 	outcomes := make([]Outcome[R], len(jobs))
 	var pending []int
 	c := &counters{}
+	opts.LiveStatus.attach(len(jobs), c)
 	for i, j := range jobs {
 		if e, ok := completed[j.Key]; ok {
 			var res R

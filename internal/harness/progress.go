@@ -32,6 +32,55 @@ func (c *counters) takeJournalErr() error {
 	return c.jrErr
 }
 
+// LiveStatus exposes a running campaign's counters for external polling:
+// the CLIs publish a Snapshot over the -debug-addr expvar endpoint. Attach
+// one via Options.LiveStatus; before Run starts (or with none attached) the
+// snapshot is all zeros. Safe for concurrent use.
+type LiveStatus struct {
+	mu    sync.Mutex
+	total int
+	c     *counters
+}
+
+// StatusSnapshot is one point-in-time view of campaign progress.
+type StatusSnapshot struct {
+	Total       int   `json:"total"`
+	Executed    int64 `json:"executed"`
+	Failed      int64 `json:"failed"`
+	Retried     int64 `json:"retried"`
+	FromJournal int64 `json:"from_journal"`
+}
+
+// attach binds the status to a campaign's live counters.
+func (ls *LiveStatus) attach(total int, c *counters) {
+	if ls == nil {
+		return
+	}
+	ls.mu.Lock()
+	ls.total, ls.c = total, c
+	ls.mu.Unlock()
+}
+
+// Snapshot returns the current progress numbers.
+func (ls *LiveStatus) Snapshot() StatusSnapshot {
+	if ls == nil {
+		return StatusSnapshot{}
+	}
+	ls.mu.Lock()
+	total, c := ls.total, ls.c
+	ls.mu.Unlock()
+	if c == nil {
+		return StatusSnapshot{}
+	}
+	return StatusSnapshot{
+		Total:       total,
+		Executed:    c.executed.Load(),
+		Failed:      c.failed.Load(),
+		Retried:     c.retried.Load(),
+		FromJournal: c.fromJournal.Load(),
+	}
+}
+
 // reporter periodically writes a progress line to Options.Progress.
 type reporter struct {
 	quit chan struct{}
@@ -74,7 +123,7 @@ func startReporter(opts Options, total int, c *counters) *reporter {
 				if remaining := int64(total) - finished; remaining <= 0 {
 					eta = "0s"
 				} else if rate > 0 {
-					eta = (time.Duration(float64(remaining)/rate*float64(time.Second))).Round(time.Second).String()
+					eta = (time.Duration(float64(remaining) / rate * float64(time.Second))).Round(time.Second).String()
 				}
 				fmt.Fprintf(opts.Progress,
 					"harness: %d/%d done (%d from journal), %d failed, %d retried, %.2f jobs/s, ETA %s\n",

@@ -9,6 +9,7 @@ import (
 
 	"ptguard/internal/core"
 	"ptguard/internal/dram"
+	"ptguard/internal/obs"
 	"ptguard/internal/pte"
 )
 
@@ -23,6 +24,10 @@ type Controller struct {
 	contention int
 
 	stats Stats
+
+	// Cached nil-safe histogram handles; nil when observability is off, so
+	// the hot path pays only a nil-receiver method call.
+	readHist, writeHist *obs.Histogram
 }
 
 // Stats summarises controller activity.
@@ -67,6 +72,7 @@ func (c *Controller) ReadLine(addr uint64, isPTE bool) (line pte.Line, latency i
 	data := c.dev.ReadLine(addr)
 	if c.guard == nil {
 		c.stats.TotalReadCycles += uint64(latency)
+		c.readHist.Observe(uint64(latency))
 		return data, latency, true
 	}
 	rd := c.guard.OnRead(data, addr, isPTE)
@@ -90,9 +96,11 @@ func (c *Controller) ReadLine(addr uint64, isPTE bool) (line pte.Line, latency i
 	if rd.CheckFailed {
 		c.stats.CheckFailures++
 		c.stats.TotalReadCycles += uint64(latency)
+		c.readHist.Observe(uint64(latency))
 		return pte.Line{}, latency, false
 	}
 	c.stats.TotalReadCycles += uint64(latency)
+	c.readHist.Observe(uint64(latency))
 	return rd.Line, latency, true
 }
 
@@ -105,6 +113,7 @@ func (c *Controller) WriteLine(addr uint64, line pte.Line) (latency int, err err
 	if c.guard == nil {
 		c.dev.WriteLine(addr, line)
 		c.stats.TotalWriteCycles += uint64(latency)
+		c.writeHist.Observe(uint64(latency))
 		return latency, nil
 	}
 	res, werr := c.guard.OnWrite(line, addr)
@@ -120,10 +129,12 @@ func (c *Controller) WriteLine(addr uint64, line pte.Line) (latency int, err err
 		// The data is still stored; the caller decides on re-keying.
 		c.dev.WriteLine(addr, res.Line)
 		c.stats.TotalWriteCycles += uint64(latency)
+		c.writeHist.Observe(uint64(latency))
 		return latency, werr
 	}
 	c.dev.WriteLine(addr, res.Line)
 	c.stats.TotalWriteCycles += uint64(latency)
+	c.writeHist.Observe(uint64(latency))
 	return latency, nil
 }
 
@@ -136,3 +147,43 @@ func max(a, b int) int {
 
 // ResetStats zeroes the controller counters (post-warm-up).
 func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// SetObserver attaches the observability subsystem to the controller and
+// everything behind it (guard and DRAM device). It also caches latency
+// histogram handles so each access records its cycle cost; a nil observer
+// detaches and the handles fall back to nil-safe no-ops.
+func (c *Controller) SetObserver(o *obs.Observer) {
+	r := o.Registry() // nil when o is nil or disabled
+	if r != nil {
+		c.readHist = r.Histogram("memctrl.read_cycles")
+		c.writeHist = r.Histogram("memctrl.write_cycles")
+	} else {
+		c.readHist, c.writeHist = nil, nil
+	}
+	if c.guard != nil {
+		c.guard.SetObserver(o)
+	}
+	c.dev.SetObserver(o)
+}
+
+// PublishObs feeds the controller counters into the metric registry under
+// "memctrl." and forwards to the guard and DRAM device (the obs snapshot
+// path; a nil registry is a no-op).
+func (c *Controller) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCounter("memctrl.reads", c.stats.Reads)
+	r.SetCounter("memctrl.writes", c.stats.Writes)
+	r.SetCounter("memctrl.read_mac_cycles", c.stats.ReadMACCycles)
+	r.SetCounter("memctrl.write_mac_cycles", c.stats.WriteMACCycles)
+	r.SetCounter("memctrl.check_failures", c.stats.CheckFailures)
+	r.SetCounter("memctrl.corrected_reads", c.stats.CorrectedReads)
+	r.SetCounter("memctrl.collision_errors", c.stats.CollisionErrors)
+	r.SetCounter("memctrl.total_read_cycles", c.stats.TotalReadCycles)
+	r.SetCounter("memctrl.total_write_cycles", c.stats.TotalWriteCycles)
+	if c.guard != nil {
+		c.guard.PublishObs(r)
+	}
+	c.dev.PublishObs(r)
+}

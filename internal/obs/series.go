@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesPoint is one periodic snapshot in a run's time series, keyed by
+// simulated cycles and retired instructions so a single run yields a curve
+// rather than one end-of-run number.
+type SeriesPoint struct {
+	// Job labels the run the point belongs to when several runs' series
+	// are merged into one file (empty for single-run series).
+	Job string `json:"job,omitempty"`
+	// Cycle is the simulated-cycle timestamp of the snapshot.
+	Cycle uint64 `json:"cycle"`
+	// Instructions is the retired-instruction count at the snapshot.
+	Instructions uint64 `json:"instructions"`
+	// Counters and Gauges copy the registry state at the snapshot.
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Series accumulates snapshot points. All methods are nil-safe.
+type Series struct {
+	points []SeriesPoint
+}
+
+// Record appends one point built from a registry snapshot.
+func (s *Series) Record(cycle, instructions uint64, snap Snapshot) {
+	if s == nil {
+		return
+	}
+	s.points = append(s.points, SeriesPoint{
+		Cycle:        cycle,
+		Instructions: instructions,
+		Counters:     snap.Counters,
+		Gauges:       snap.Gauges,
+	})
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.points)
+}
+
+// Points returns a copy of the recorded points.
+func (s *Series) Points() []SeriesPoint {
+	if s == nil {
+		return nil
+	}
+	return append([]SeriesPoint(nil), s.points...)
+}
+
+// Reset drops every recorded point.
+func (s *Series) Reset() {
+	if s == nil {
+		return
+	}
+	s.points = s.points[:0]
+}
+
+// WriteSeriesJSONL writes points as JSON Lines: one self-describing object
+// per line, the format campaign tooling appends and greps.
+func WriteSeriesJSONL(w io.Writer, points []SeriesPoint) error {
+	enc := json.NewEncoder(w)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes points as CSV with a fixed header: job, cycle,
+// instructions, then the sorted union of every counter and gauge name.
+// Points missing a column emit an empty cell.
+func WriteSeriesCSV(w io.Writer, points []SeriesPoint) error {
+	counterSet := map[string]bool{}
+	gaugeSet := map[string]bool{}
+	for _, p := range points {
+		for name := range p.Counters {
+			counterSet[name] = true
+		}
+		for name := range p.Gauges {
+			gaugeSet[name] = true
+		}
+	}
+	counters := sortedKeys(counterSet)
+	gauges := sortedKeys(gaugeSet)
+
+	header := append([]string{"job", "cycle", "instructions"}, counters...)
+	header = append(header, gauges...)
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		row := make([]string, 0, len(header))
+		row = append(row, p.Job,
+			strconv.FormatUint(p.Cycle, 10),
+			strconv.FormatUint(p.Instructions, 10))
+		for _, name := range counters {
+			if v, ok := p.Counters[name]; ok {
+				row = append(row, strconv.FormatUint(v, 10))
+			} else {
+				row = append(row, "")
+			}
+		}
+		for _, name := range gauges {
+			if v, ok := p.Gauges[name]; ok {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func samplePoints() []SeriesPoint {
+	return []SeriesPoint{
+		{Job: "mcf/ptguard", Cycle: 100, Instructions: 50,
+			Counters: map[string]uint64{"cpu.instructions": 50, "tlb.misses": 3},
+			Gauges:   map[string]float64{"guard.ctb_occupancy": 0.25}},
+		{Job: "mcf/ptguard", Cycle: 200, Instructions: 100,
+			Counters: map[string]uint64{"cpu.instructions": 100}},
+	}
+}
+
+func TestWriteSeriesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesJSONL(&buf, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var p SeriesPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d is not a JSON point: %v", lines, err)
+		}
+		if p.Job != "mcf/ptguard" {
+			t.Errorf("line %d job = %q", lines, p.Job)
+		}
+	}
+	if lines != 2 {
+		t.Errorf("lines = %d, want 2", lines)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	// Fixed prefix, then the sorted union of counters, then gauges.
+	wantHeader := "job,cycle,instructions,cpu.instructions,tlb.misses,guard.ctb_occupancy"
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	if lines[1] != "mcf/ptguard,100,50,50,3,0.25" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Missing columns are empty cells, not zeros.
+	if lines[2] != "mcf/ptguard,200,100,100,," {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestRunMetricsIncludesSeriesAndTrace(t *testing.T) {
+	o := New(Options{SnapshotEvery: 10, TraceCapacity: 4})
+	o.Registry().SetCounter("x", 1)
+	o.Emit("cat", "ev", 2)
+	o.Snapshot(5, 10)
+
+	rm := o.RunMetrics(true)
+	if rm.Counters["x"] != 1 {
+		t.Errorf("counters = %+v", rm.Counters)
+	}
+	if len(rm.Series) != 1 {
+		t.Errorf("series = %+v", rm.Series)
+	}
+	if len(rm.Trace) != 1 || rm.Trace[0].Name != "ev" {
+		t.Errorf("trace = %+v", rm.Trace)
+	}
+
+	// includeTrace=false keeps journals small.
+	if rm := o.RunMetrics(false); rm.Trace != nil || rm.Dropped != 0 {
+		t.Errorf("trace leaked into slim metrics: %+v", rm)
+	}
+}

@@ -131,6 +131,75 @@ func (t *Table) RenderJSON(w io.Writer) error {
 	return enc.Encode(t.Results())
 }
 
+// Output formats accepted by Emit and EmitAll.
+const (
+	FormatTable = "table"
+	FormatCSV   = "csv"
+	FormatJSON  = "json"
+)
+
+// Format maps the conventional -csv/-json CLI flag pair onto a format name
+// (the flags are mutually exclusive by construction: -json wins).
+func Format(csv, json bool) string {
+	switch {
+	case json:
+		return FormatJSON
+	case csv:
+		return FormatCSV
+	default:
+		return FormatTable
+	}
+}
+
+// Emit writes the table in the named format: "table" (aligned ASCII),
+// "csv", or "json". An empty format selects "table"; anything else is an
+// error.
+func Emit(w io.Writer, t *Table, format string) error {
+	if t == nil {
+		return errors.New("report: nil table")
+	}
+	switch format {
+	case FormatTable, "":
+		return t.Render(w)
+	case FormatCSV:
+		return t.RenderCSV(w)
+	case FormatJSON:
+		return t.RenderJSON(w)
+	default:
+		return fmt.Errorf("report: unknown output format %q (want table, csv, or json)", format)
+	}
+}
+
+// EmitAll writes several tables in the named format. Table output separates
+// tables with a blank line and CSV with a blank line between blocks; JSON
+// emits a single indented array of each table's Results, so multi-table
+// output stays one parseable document.
+func EmitAll(w io.Writer, tables []*Table, format string) error {
+	if format == FormatJSON {
+		all := make([]Results, len(tables))
+		for i, t := range tables {
+			if t == nil {
+				return errors.New("report: nil table")
+			}
+			all[i] = t.Results()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := Emit(w, t, format); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func csvLine(cells []string) string {
 	parts := make([]string, len(cells))
 	for i, c := range cells {

@@ -154,3 +154,102 @@ func TestRenderAlignsUTF8(t *testing.T) {
 		t.Errorf("value column misaligned: %d vs %d runes\n%s", r1, r2, sb.String())
 	}
 }
+
+func TestRenderCSVEscapesNewlines(t *testing.T) {
+	tbl := New("t", "name", "note")
+	tbl.AddRow("multi", "line one\nline two")
+	var sb strings.Builder
+	if err := tbl.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\nmulti,\"line one\nline two\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatFlagMapping(t *testing.T) {
+	if got := Format(false, false); got != FormatTable {
+		t.Errorf("Format(false,false) = %q", got)
+	}
+	if got := Format(true, false); got != FormatCSV {
+		t.Errorf("Format(true,false) = %q", got)
+	}
+	// -json wins over -csv.
+	if got := Format(true, true); got != FormatJSON {
+		t.Errorf("Format(true,true) = %q", got)
+	}
+}
+
+func TestEmitFormats(t *testing.T) {
+	tbl := New("T", "a", "b")
+	tbl.AddRow("1", "2")
+
+	var table, csv, jsonOut, dflt strings.Builder
+	for _, c := range []struct {
+		w      *strings.Builder
+		format string
+	}{
+		{&table, FormatTable}, {&csv, FormatCSV}, {&jsonOut, FormatJSON}, {&dflt, ""},
+	} {
+		if err := Emit(c.w, tbl, c.format); err != nil {
+			t.Fatalf("Emit(%q): %v", c.format, err)
+		}
+	}
+	if table.String() != dflt.String() {
+		t.Error("empty format did not default to table")
+	}
+	if !strings.HasPrefix(csv.String(), "a,b\n") {
+		t.Errorf("csv = %q", csv.String())
+	}
+	var res Results
+	if err := json.Unmarshal([]byte(jsonOut.String()), &res); err != nil {
+		t.Fatalf("json output invalid: %v", err)
+	}
+}
+
+func TestEmitUnknownFormat(t *testing.T) {
+	tbl := New("T", "a")
+	var sb strings.Builder
+	err := Emit(&sb, tbl, "yaml")
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if !strings.Contains(err.Error(), `"yaml"`) {
+		t.Errorf("error does not name the format: %v", err)
+	}
+	if err := Emit(&sb, nil, FormatTable); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+func TestEmitAllJSONSingleDocument(t *testing.T) {
+	t1 := New("one", "a")
+	t1.AddRow("1")
+	t2 := New("two", "b")
+	t2.AddRow("2")
+
+	var sb strings.Builder
+	if err := EmitAll(&sb, []*Table{t1, t2}, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var all []Results
+	if err := json.Unmarshal([]byte(sb.String()), &all); err != nil {
+		t.Fatalf("multi-table JSON is not one document: %v\n%s", err, sb.String())
+	}
+	if len(all) != 2 || all[0].Title != "one" || all[1].Title != "two" {
+		t.Errorf("decoded = %+v", all)
+	}
+
+	// Table output separates tables with exactly one blank line.
+	var tb strings.Builder
+	if err := EmitAll(&tb, []*Table{t1, t2}, FormatTable); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "\n\ntwo\n") {
+		t.Errorf("tables not blank-line separated:\n%s", tb.String())
+	}
+	if strings.HasSuffix(tb.String(), "\n\n") {
+		t.Error("trailing blank line after last table")
+	}
+}

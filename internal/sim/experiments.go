@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"ptguard/internal/cpu"
+	"ptguard/internal/obs"
 	"ptguard/internal/stats"
 	"ptguard/internal/workload"
 )
@@ -39,12 +40,38 @@ type Comparison struct {
 // `warmup` instructions before the measured window, mirroring the paper's
 // fast-forward to a representative region (§III).
 func Compare(prof workload.Profile, warmup, instructions int, seed uint64, macLatency int, modes []Mode) (Comparison, error) {
+	cmp, _, err := CompareObserved(prof, warmup, instructions, seed, macLatency, modes, nil)
+	return cmp, err
+}
+
+// CompareObserved is Compare with observability: when obsOpts is non-nil,
+// each mode's run (including the baseline) gets a fresh Observer and the
+// returned map carries the per-mode RunMetrics (final registry state, the
+// snapshot time series, and the traced events). A nil obsOpts behaves
+// exactly like Compare and returns a nil map.
+func CompareObserved(prof workload.Profile, warmup, instructions int, seed uint64, macLatency int, modes []Mode, obsOpts *obs.Options) (Comparison, map[Mode]*obs.RunMetrics, error) {
 	if len(modes) == 0 {
-		return Comparison{}, errors.New("sim: no modes requested")
+		return Comparison{}, nil, errors.New("sim: no modes requested")
 	}
-	base, err := runOne(Config{Mode: Baseline, Seed: seed}, prof, warmup, instructions)
+	var metrics map[Mode]*obs.RunMetrics
+	observed := func(cfg Config) (Result, error) {
+		var o *obs.Observer
+		if obsOpts != nil {
+			o = obs.New(*obsOpts)
+			cfg.Obs = o
+		}
+		r, err := runOne(cfg, prof, warmup, instructions)
+		if err == nil && o != nil {
+			if metrics == nil {
+				metrics = map[Mode]*obs.RunMetrics{}
+			}
+			metrics[cfg.Mode] = o.RunMetrics(true)
+		}
+		return r, err
+	}
+	base, err := observed(Config{Mode: Baseline, Seed: seed})
 	if err != nil {
-		return Comparison{}, err
+		return Comparison{}, nil, err
 	}
 	cmp := Comparison{
 		Workload:    prof.Name,
@@ -56,18 +83,18 @@ func Compare(prof workload.Profile, warmup, instructions int, seed uint64, macLa
 		if m == Baseline {
 			continue
 		}
-		r, rerr := runOne(Config{Mode: m, Seed: seed, MACLatencyCycles: macLatency}, prof, warmup, instructions)
+		r, rerr := observed(Config{Mode: m, Seed: seed, MACLatencyCycles: macLatency})
 		if rerr != nil {
-			return Comparison{}, fmt.Errorf("%s/%s: %w", prof.Name, m, rerr)
+			return Comparison{}, nil, fmt.Errorf("%s/%s: %w", prof.Name, m, rerr)
 		}
 		cmp.Results[m] = r
 		sl, serr := SlowdownPercent(r.Cycles, base.Cycles)
 		if serr != nil {
-			return Comparison{}, fmt.Errorf("%s/%s: %w", prof.Name, m, serr)
+			return Comparison{}, nil, fmt.Errorf("%s/%s: %w", prof.Name, m, serr)
 		}
 		cmp.SlowdownPct[m] = sl
 	}
-	return cmp, nil
+	return cmp, metrics, nil
 }
 
 func runOne(cfg Config, prof workload.Profile, warmup, instructions int) (Result, error) {

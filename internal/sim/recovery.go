@@ -47,6 +47,7 @@ func (s *System) remapAfter() int {
 // the returned line, when ok, is verified and safe to consume.
 func (s *System) recoverPTELine(addr uint64) (pte.Line, bool) {
 	s.recovery.Raised++
+	s.obs.Emit("recovery", "raised", 0)
 	page := addr &^ uint64(pte.PageSize-1)
 	s.pageFailures[page]++
 
@@ -70,6 +71,7 @@ func (s *System) recoverPTELine(addr uint64) (pte.Line, bool) {
 			continue
 		}
 		s.recovery.Rebuilds++
+		s.obs.Emit("recovery", "rebuild", 0)
 		line, lat, ok := s.ctrl.ReadLine(addr, true)
 		s.core.StallMemory(lat)
 		if !ok {
@@ -82,6 +84,7 @@ func (s *System) recoverPTELine(addr uint64) (pte.Line, bool) {
 		return line, true
 	}
 	s.recovery.Fatal++
+	s.obs.Emit("recovery", "fatal", 0)
 	return pte.Line{}, false
 }
 
@@ -99,6 +102,7 @@ func (s *System) remapVictimPage(addr uint64) (pte.Line, bool) {
 		return pte.Line{}, false
 	}
 	s.recovery.Remaps++
+	s.obs.Emit("recovery", "remap", 0)
 	delete(s.pageFailures, oldPage)
 
 	// Flush the migrated page and invalidate the quarantined one.

@@ -16,6 +16,7 @@ import (
 	"ptguard/internal/dram"
 	"ptguard/internal/mac"
 	"ptguard/internal/memctrl"
+	"ptguard/internal/obs"
 	"ptguard/internal/ostable"
 	"ptguard/internal/pte"
 	"ptguard/internal/stats"
@@ -96,6 +97,10 @@ type Config struct {
 	// raise before recovery escalates to migrating the page to a fresh
 	// frame (quarantining the vulnerable row, §IV-G); 0 selects 2.
 	RemapAfter int
+	// Obs, when set, collects metrics, trace events, and periodic
+	// time-series snapshots for this run. Nil disables observability with
+	// zero overhead.
+	Obs *obs.Observer
 }
 
 // System is one single-core simulated machine running one workload.
@@ -133,6 +138,9 @@ type System struct {
 
 	sinceChurn int
 	churns     uint64
+
+	// obs collects metrics/traces/series when non-nil (Config.Obs).
+	obs *obs.Observer
 }
 
 // NewSystem builds a system for one workload profile. The workload's
@@ -197,9 +205,16 @@ func newSystemShared(cfg Config, prof workload.Profile, dev *dram.Device, ctrl *
 		vbase:        0x10_0000_0000 + uint64(coreIdx)<<40,
 		cleanPTE:     make(map[uint64]pte.Line),
 		pageFailures: make(map[uint64]int),
+		obs:          cfg.Obs,
 	}
 	if err != nil {
 		return nil, err
+	}
+	if s.obs != nil {
+		// Events are stamped with this core's cycle count. With a shared
+		// controller (multicore), the last core built owns the clock.
+		s.obs.SetClock(func() uint64 { return uint64(coreModel.Cycles()) })
+		ctrl.SetObserver(s.obs)
 	}
 	s.walker, err = tlb.NewWalker(s.readPTELine)
 	if err != nil {
@@ -386,7 +401,12 @@ func (s *System) accessData(ref workload.Ref) {
 	vpn := ref.VAddr >> pte.PageShift
 	pfn, ok := s.tlb.Lookup(vpn)
 	if !ok {
+		walkStart := s.core.Cycles()
 		res := s.walker.Walk(s.tables.Root(), ref.VAddr)
+		if s.obs != nil {
+			s.obs.EmitAt("mmu", "walk", uint64(walkStart),
+				uint64(s.core.Cycles()-walkStart))
+		}
 		if res.CheckFailed || res.Fault {
 			// A faulted translation cannot proceed; the exception
 			// path is outside the timing loop.
@@ -515,6 +535,16 @@ func (s *System) Run(n int) (Result, error) {
 	}
 	for i := 0; i < n; i++ {
 		s.step()
+		if s.obs.ShouldSnapshot(s.core.Instructions()) {
+			s.publishObs()
+			s.obs.Snapshot(uint64(s.core.Cycles()), s.core.Instructions())
+		}
+	}
+	if s.obs != nil {
+		// Run-final snapshot: the registry reflects the completed run and
+		// the series always carries at least one point per Run call.
+		s.publishObs()
+		s.obs.Snapshot(uint64(s.core.Cycles()), s.core.Instructions())
 	}
 	res := Result{
 		Workload:     s.gen.Profile().Name,
@@ -549,9 +579,36 @@ func (s *System) ResetStats() {
 	s.tlb.ResetStats()
 	s.ctrl.ResetStats()
 	s.checkFails = 0
+	s.recovery = RecoveryStats{}
+	s.walkTrace = nil
 	if g := s.ctrl.Guard(); g != nil {
 		g.ResetCounters()
 	}
+	s.obs.Reset()
+}
+
+// publishObs copies every component's internal counters into the metric
+// registry (the snapshot feed path; a no-op when observability is off).
+func (s *System) publishObs() {
+	r := s.obs.Registry()
+	if r == nil {
+		return
+	}
+	s.core.PublishObs(r)
+	s.l1d.PublishObs(r)
+	s.l2.PublishObs(r)
+	s.l3.PublishObs(r)
+	s.tlb.PublishObs(r)
+	s.walker.PublishObs(r)
+	s.ctrl.PublishObs(r)
+	r.SetCounter("sim.check_fails", s.checkFails)
+	r.SetCounter("sim.churns", s.churns)
+	r.SetCounter("sim.page_walks", s.walker.Stats().Walks)
+	r.SetCounter("sim.recovery.raised", s.recovery.Raised)
+	r.SetCounter("sim.recovery.rebuilds", s.recovery.Rebuilds)
+	r.SetCounter("sim.recovery.remaps", s.recovery.Remaps)
+	r.SetCounter("sim.recovery.recovered", s.recovery.Recovered)
+	r.SetCounter("sim.recovery.fatal", s.recovery.Fatal)
 }
 
 // WalkTrace returns the recorded DRAM-level PTE line fetches (TraceWalks).

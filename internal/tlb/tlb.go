@@ -4,7 +4,11 @@
 // the tagged isPTE memory reads PT-Guard verifies.
 package tlb
 
-import "fmt"
+import (
+	"fmt"
+
+	"ptguard/internal/obs"
+)
 
 // DefaultEntries is the TLB capacity (Table III).
 const DefaultEntries = 64
@@ -102,3 +106,14 @@ func (s Stats) MissRate() float64 {
 
 // ResetStats zeroes the hit/miss counters but keeps the entries.
 func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+
+// PublishObs feeds the TLB counters into the metric registry under "tlb."
+// (the obs snapshot path; a nil registry is a no-op).
+func (t *TLB) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCounter("tlb.hits", t.hits)
+	r.SetCounter("tlb.misses", t.misses)
+	r.SetGauge("tlb.miss_rate", t.Stats().MissRate())
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"ptguard/internal/cache"
+	"ptguard/internal/obs"
 	"ptguard/internal/pte"
 )
 
@@ -158,4 +159,16 @@ func (w *Walker) Stats() WalkerStats {
 		Walks: w.walks, MemAccesses: w.memAccesses,
 		MMUHits: w.mmuHits, CheckFailures: w.checkFailures,
 	}
+}
+
+// PublishObs feeds the walker counters into the metric registry under
+// "walker." (the obs snapshot path; a nil registry is a no-op).
+func (w *Walker) PublishObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.SetCounter("walker.walks", w.walks)
+	r.SetCounter("walker.mem_accesses", w.memAccesses)
+	r.SetCounter("walker.mmu_hits", w.mmuHits)
+	r.SetCounter("walker.check_failures", w.checkFailures)
 }
