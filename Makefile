@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench-smoke bench
+.PHONY: ci vet build test race fuzz-smoke bench-smoke bench bench-json bench-json-smoke
 
 # ci is the gate every change must pass.
-ci: vet build test race fuzz-smoke bench-smoke
+ci: vet build test race fuzz-smoke bench-smoke bench-json-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,3 +34,14 @@ bench-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# bench-json runs the root benchmark suite at full fidelity and appends the
+# next BENCH_<n>.json baseline, so the perf trajectory is tracked
+# run-over-run (compare two baselines with ptguard-bench -compare).
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/ptguard-bench -out .
+
+# bench-json-smoke proves the pipeline stays parseable without paying for
+# full timings: 1-iteration run, baseline written to a throwaway dir.
+bench-json-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ . | $(GO) run ./cmd/ptguard-bench -out $$(mktemp -d)

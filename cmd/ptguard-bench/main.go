@@ -1,0 +1,100 @@
+// Command ptguard-bench converts `go test -bench -benchmem` output into a
+// numbered BENCH_<n>.json baseline so the repo's performance trajectory is
+// tracked run over run (`make bench-json`). It can also diff two baselines:
+//
+//	go test -bench=. -benchmem -run='^$' | ptguard-bench -out .
+//	ptguard-bench -compare BENCH_0.json,BENCH_1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ptguard/internal/benchfmt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
+	out := flag.String("out", ".", "directory to write the next BENCH_<n>.json into")
+	compare := flag.String("compare", "", "two BENCH_*.json files, comma-separated: print before->after table instead of ingesting")
+	flag.Parse()
+
+	if *compare != "" {
+		return runCompare(*compare)
+	}
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	parsed, err := benchfmt.Parse(r)
+	if err != nil {
+		return err
+	}
+	path, err := nextPath(*out)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := parsed.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d benchmarks\n", path, len(parsed.Results))
+	return nil
+}
+
+// nextPath returns dir/BENCH_<n>.json for the smallest n not yet taken.
+func nextPath(dir string) (string, error) {
+	for n := 0; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+func runCompare(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants before,after; got %q", spec)
+	}
+	files := make([]*benchfmt.File, 2)
+	for i, p := range parts {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		parsed, err := benchfmt.Decode(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		files[i] = parsed
+	}
+	fmt.Print(benchfmt.Compare(files[0], files[1]))
+	return nil
+}

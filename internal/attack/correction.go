@@ -2,6 +2,7 @@ package attack
 
 import (
 	"errors"
+	"strconv"
 
 	"ptguard/internal/core"
 	"ptguard/internal/dram"
@@ -74,6 +75,11 @@ func (r CorrectionResult) CoveragePct() float64 {
 // controller, flip each bit of each PTE cacheline with probability
 // FlipProb, and replay page-table walks through the correction-enabled
 // guard.
+//
+// The trial loop is sharded across GOMAXPROCS goroutines: each trial draws
+// its faults from an RNG seeded by DeriveSeed(Seed, trial index) and runs
+// against a shard-local guard, so the result is bit-identical however many
+// shards execute it (see stats.ShardTrials).
 func RunCorrection(cfg CorrectionConfig) (CorrectionResult, error) {
 	if cfg.FlipProb <= 0 || cfg.FlipProb >= 1 {
 		return CorrectionResult{}, errors.New("attack: FlipProb outside (0, 1)")
@@ -98,7 +104,7 @@ func RunCorrection(cfg CorrectionConfig) (CorrectionResult, error) {
 	for i := range key {
 		key[i] = byte(kr.Uint64())
 	}
-	guard, err := core.NewGuard(core.Config{
+	guardCfg := core.Config{
 		Format:              format,
 		Key:                 key,
 		TagBits:             cfg.TagBits,
@@ -108,7 +114,8 @@ func RunCorrection(cfg CorrectionConfig) (CorrectionResult, error) {
 		DisableZeroReset:    cfg.DisableZeroReset,
 		DisableFlagVote:     cfg.DisableFlagVote,
 		DisableContiguity:   cfg.DisableContiguity,
-	})
+	}
+	guard, err := core.NewGuard(guardCfg)
 	if err != nil {
 		return CorrectionResult{}, err
 	}
@@ -124,11 +131,6 @@ func RunCorrection(cfg CorrectionConfig) (CorrectionResult, error) {
 	if err != nil {
 		return CorrectionResult{}, err
 	}
-	hmr, err := dram.NewHammerer(dev, dram.HammerConfig{Seed: cfg.Seed ^ 0xFA17})
-	if err != nil {
-		return CorrectionResult{}, err
-	}
-
 	// Build a fixed pool of protected PTE lines from several synthetic
 	// processes, so every flip probability is evaluated over the same
 	// line population (no sample-composition bias between sweep points).
@@ -171,29 +173,70 @@ func RunCorrection(cfg CorrectionConfig) (CorrectionResult, error) {
 		pool[i], pool[j] = pool[j], pool[i]
 	}
 
-	res := CorrectionResult{FlipProb: cfg.FlipProb}
-	for i := 0; res.Erroneous < cfg.Lines; i++ {
-		entry := pool[i%len(pool)]
-		dev.WriteLine(entry.addr, entry.protected)
-		if hmr.InjectLineFaults(entry.addr, cfg.FlipProb) == 0 {
-			continue
-		}
-		res.Erroneous++
-		before := guard.Counters().CorrectionGuesses
-		got, _, ok := ctrl.ReadLine(entry.addr, true)
-		res.Guesses += guard.Counters().CorrectionGuesses - before
+	// Sharded trial loop. Each trial is a pure function of (pool entry,
+	// trial seed): flip bits of the protected image with a per-trial RNG
+	// (redrawing until at least one bit flips, so every trial is an
+	// erroneous line, matching the skip-and-retry of the serial
+	// methodology) and replay the walk through a shard-local guard.
+	trials, err := stats.ShardTrials(cfg.Lines,
+		func() (*core.Guard, error) { return core.NewGuard(guardCfg) },
+		func(g *core.Guard, t int) (trialVerdict, error) {
+			entry := pool[t%len(pool)]
+			rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, "fig9/trial/"+strconv.Itoa(t)))
+			faulty := flipLineBernoulli(entry.protected, cfg.FlipProb, rng)
+			before := g.Counters().CorrectionGuesses
+			rd := g.OnRead(faulty, entry.addr, true)
+			v := trialVerdict{guesses: g.Counters().CorrectionGuesses - before}
+			switch {
+			case rd.CheckFailed:
+				v.detected = true
+			case payloadMatches(rd.Line, entry.arch, format):
+				v.corrected = true
+			}
+			return v, nil
+		})
+	if err != nil {
+		return CorrectionResult{}, err
+	}
+	res := CorrectionResult{FlipProb: cfg.FlipProb, Erroneous: len(trials)}
+	for _, v := range trials {
+		res.Guesses += v.guesses
 		switch {
-		case !ok:
+		case v.detected:
 			res.Detected++
-		case payloadMatches(got, entry.arch, format):
+		case v.corrected:
 			res.Corrected++
 		default:
 			res.Miscorrected++
 		}
-		// Restore the pristine protected image for the next pass.
-		dev.WriteLine(entry.addr, entry.protected)
 	}
 	return res, nil
+}
+
+// trialVerdict is one Fig. 9 trial's classification.
+type trialVerdict struct {
+	detected  bool
+	corrected bool
+	guesses   uint64
+}
+
+// flipLineBernoulli flips each bit of line independently with probability
+// p, redrawing the whole pattern until at least one bit flips: the §VI-F
+// per-line fault injection, conditioned on the line being erroneous.
+func flipLineBernoulli(line pte.Line, p float64, rng *stats.RNG) pte.Line {
+	for {
+		flipped := false
+		out := line
+		for bit := 0; bit < pte.LineBytes*8; bit++ {
+			if rng.Bernoulli(p) {
+				out[bit/64] = pte.Entry(uint64(out[bit/64]) ^ 1<<uint(bit%64))
+				flipped = true
+			}
+		}
+		if flipped {
+			return out
+		}
+	}
 }
 
 func popConfig(seed uint64) ostable.SynthConfig {

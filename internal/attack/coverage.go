@@ -2,6 +2,7 @@ package attack
 
 import (
 	"errors"
+	"strconv"
 
 	"ptguard/internal/baseline"
 	"ptguard/internal/pte"
@@ -24,32 +25,47 @@ type CoverageResult struct {
 	MonotonicUnprotected int
 }
 
+// coverageWorker is one shard's private state for the coverage trials: its
+// own protected world plus the baseline defenses scored alongside.
+type coverageWorker struct {
+	w    *World
+	sw   baseline.SecWalk
+	ecc  baseline.SECDED
+	mono baseline.MonotonicPointers
+}
+
+// coverageVerdict is one trial's per-defense outcome.
+type coverageVerdict struct {
+	ptguardDetected bool
+	secWalkMissed   bool
+	secdedSilent    bool
+	monoUnprotected bool
+}
+
 // RunCoverage injects `trials` random fault patterns of 1..maxFlips bits
 // into protected PTE lines and scores every defense on the same patterns.
 // PT-Guard is exercised end to end through the memory controller; the
 // per-PTE defenses (SecWalk, SECDED, monotonic pointers) are scored on the
 // corresponding 64-bit entry corruption.
+//
+// Trials are sharded across GOMAXPROCS goroutines, each with its own world
+// (identically constructed from seed) and a per-trial DeriveSeed RNG, so
+// the result is bit-identical at any parallelism.
 func RunCoverage(seed uint64, trials, maxFlips int) (CoverageResult, error) {
 	if trials <= 0 || maxFlips <= 0 || maxFlips > 512 {
 		return CoverageResult{}, errors.New("attack: invalid coverage parameters")
 	}
-	w, err := NewWorld(true, false, seed)
+	// Probe world: validates parameters and derives the relevant bit set
+	// before any shard spins up.
+	probe, err := NewWorld(true, false, seed)
 	if err != nil {
 		return CoverageResult{}, err
 	}
-	var sw baseline.SecWalk
-	var ecc baseline.SECDED
-	mono, err := baseline.NewMonotonicPointers(0x80000)
-	if err != nil {
-		return CoverageResult{}, err
-	}
-	r := stats.NewRNG(seed ^ 0xC0BE)
-	res := CoverageResult{Trials: trials}
 
 	// Faults target the security-relevant bits: everything the MAC covers
 	// plus the embedded MAC itself. (Flips confined to the accessed bit
 	// or the ignored field are architecturally meaningless.)
-	format := w.guard.Config().Format
+	format := probe.guard.Config().Format
 	var relevantBits []int
 	for b := 0; b < 64; b++ {
 		if (format.ProtectedMask|format.MACMask)>>uint(b)&1 == 1 {
@@ -60,7 +76,48 @@ func RunCoverage(seed uint64, trials, maxFlips int) (CoverageResult, error) {
 		return CoverageResult{}, errors.New("attack: maxFlips exceeds relevant bits per PTE")
 	}
 
-	for trial := 0; trial < trials; trial++ {
+	verdicts, err := stats.ShardTrials(trials,
+		func() (*coverageWorker, error) {
+			w, werr := NewWorld(true, false, seed)
+			if werr != nil {
+				return nil, werr
+			}
+			mono, merr := baseline.NewMonotonicPointers(0x80000)
+			if merr != nil {
+				return nil, merr
+			}
+			return &coverageWorker{w: w, mono: mono}, nil
+		},
+		func(cw *coverageWorker, trial int) (coverageVerdict, error) {
+			return cw.runTrial(stats.NewRNG(stats.DeriveSeed(seed, "coverage/trial/"+strconv.Itoa(trial))), relevantBits, maxFlips)
+		})
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	res := CoverageResult{Trials: trials}
+	for _, v := range verdicts {
+		if v.ptguardDetected {
+			res.PTGuardDetected++
+		}
+		if v.secWalkMissed {
+			res.SecWalkMissed++
+		}
+		if v.secdedSilent {
+			res.SECDEDSilent++
+		}
+		if v.monoUnprotected {
+			res.MonotonicUnprotected++
+		}
+	}
+	return res, nil
+}
+
+// runTrial injects one fault pattern drawn from r and scores each defense.
+// The world is restored before returning, so trials are independent.
+func (cw *coverageWorker) runTrial(r *stats.RNG, relevantBits []int, maxFlips int) (coverageVerdict, error) {
+	w := cw.w
+	var res coverageVerdict
+	{
 		vaddr := VictimVBase + uint64(r.Intn(VictimPages))*pte.PageSize
 		ea, ok := w.Tables.LeafEntryAddr(vaddr)
 		if !ok {
@@ -88,33 +145,33 @@ func RunCoverage(seed uint64, trials, maxFlips int) (CoverageResult, error) {
 		// PT-Guard, end to end.
 		w.Hammer.FlipLineBits(lineAddr, lineBits)
 		if _, _, ok := w.Ctrl.ReadLine(lineAddr, true); !ok {
-			res.PTGuardDetected++
+			res.ptguardDetected = true
 		}
 		// Restore for the next trial.
 		w.Dev.WriteLine(lineAddr, origLine)
 
 		// SecWalk on the same entry corruption.
-		if !sw.Detects(origEntry, entryBits) {
-			res.SecWalkMissed++
+		if !cw.sw.Detects(origEntry, entryBits) {
+			res.secWalkMissed = true
 		}
 
 		// SECDED over the 64-bit entry.
-		cw := ecc.Encode(uint64(origEntry))
+		codeword := cw.ecc.Encode(uint64(origEntry))
 		for _, b := range entryBits {
 			// Map data-bit index to codeword position: data bit d
 			// lives at the (d+1)-th non-check position.
-			cw = cw.Flip(dataPosToCodeword(b))
+			codeword = codeword.Flip(dataPosToCodeword(b))
 		}
-		got, status, derr := ecc.Decode(cw)
+		got, status, derr := cw.ecc.Decode(codeword)
 		if derr == nil && status != baseline.DecodeUncorrectable && got != uint64(origEntry) {
-			res.SECDEDSilent++
+			res.secdedSilent = true
 		}
 
 		// Monotonic pointers: score single-bit cases only (its threat
 		// model); any flipped metadata bit breaks it.
 		for _, b := range entryBits {
-			if !mono.EvaluateFlip(origEntry, b).Prevented {
-				res.MonotonicUnprotected++
+			if !cw.mono.EvaluateFlip(origEntry, b).Prevented {
+				res.monoUnprotected = true
 				break
 			}
 		}

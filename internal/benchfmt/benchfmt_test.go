@@ -1,0 +1,107 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ptguard
+cpu: AMD EPYC 7B13
+BenchmarkGuardWrite-8     	  120000	     10446 ns/op	     528 B/op	       5 allocs/op
+BenchmarkFig9Correction-8 	       1	1370647085 ns/op	        95.80 corrected-%	       100.0 coverage-%	149413432 B/op	  585805 allocs/op
+BenchmarkNoSuffix 	     100	     12345 ns/op
+PASS
+ok  	ptguard	12.345s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.Pkg != "ptguard" || f.CPU != "AMD EPYC 7B13" {
+		t.Errorf("bad header: %+v", f)
+	}
+	if len(f.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(f.Results))
+	}
+	gw, ok := f.Lookup("BenchmarkGuardWrite")
+	if !ok {
+		t.Fatal("BenchmarkGuardWrite missing")
+	}
+	if gw.Procs != 8 || gw.Iterations != 120000 {
+		t.Errorf("GuardWrite header: %+v", gw)
+	}
+	if gw.NsPerOp() != 10446 || gw.AllocsPerOp() != 5 || gw.Metrics["B/op"] != 528 {
+		t.Errorf("GuardWrite metrics: %+v", gw.Metrics)
+	}
+	fig9, ok := f.Lookup("BenchmarkFig9Correction")
+	if !ok {
+		t.Fatal("BenchmarkFig9Correction missing")
+	}
+	if fig9.Metrics["corrected-%"] != 95.80 || fig9.Metrics["coverage-%"] != 100 {
+		t.Errorf("custom metrics not parsed: %+v", fig9.Metrics)
+	}
+	ns, ok := f.Lookup("BenchmarkNoSuffix")
+	if !ok || ns.Procs != 1 {
+		t.Errorf("suffix-less benchmark: %+v (ok=%v)", ns, ok)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok \tptguard\t0.1s\n")); err == nil {
+		t.Error("no-benchmark input accepted")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(f.Results) {
+		t.Fatalf("roundtrip lost results: %d vs %d", len(back.Results), len(f.Results))
+	}
+	for i := range f.Results {
+		a, b := f.Results[i], back.Results[i]
+		if a.Name != b.Name || a.Procs != b.Procs || a.Iterations != b.Iterations {
+			t.Errorf("result %d header changed: %+v vs %+v", i, a, b)
+		}
+		for u, v := range a.Metrics {
+			if b.Metrics[u] != v {
+				t.Errorf("result %d metric %s: %g vs %g", i, u, v, b.Metrics[u])
+			}
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	before, err := Parse(strings.NewReader(
+		"BenchmarkX-8 10 1000 ns/op 4 allocs/op\nBenchmarkOnlyBefore-8 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Parse(strings.NewReader(
+		"BenchmarkX-8 10 250 ns/op 0 allocs/op\nBenchmarkOnlyAfter-8 1 7 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Compare(before, after)
+	if !strings.Contains(out, "0.25x") {
+		t.Errorf("ns/op ratio missing from:\n%s", out)
+	}
+	if strings.Contains(out, "OnlyBefore") || strings.Contains(out, "OnlyAfter") {
+		t.Errorf("unshared benchmarks leaked into:\n%s", out)
+	}
+}

@@ -6,13 +6,19 @@ import (
 	"ptguard/internal/pte"
 )
 
-// gatherField collects the bits selected by mask from each of the eight
+// gatherFieldInto collects the bits selected by mask from each of the eight
 // PTEs in the line, LSB-first within each PTE, PTE 0 first, into a
-// little-endian byte stream. With the x86_64 MAC mask this yields the
-// 96-bit pooled MAC field of Fig. 2.
-func gatherField(line pte.Line, mask uint64) []byte {
+// little-endian byte stream written to buf. It returns the number of
+// significant bytes. With the x86_64 MAC mask this yields the 96-bit pooled
+// MAC field of Fig. 2. Taking a caller-owned buffer keeps the read/write
+// hot paths allocation-free; a 64-byte buffer always suffices (64 bits per
+// PTE x 8 PTEs = 64 bytes at most).
+func gatherFieldInto(buf *[pte.LineBytes]byte, line pte.Line, mask uint64) int {
 	n := bits.OnesCount64(mask) * pte.PTEsPerLine
-	out := make([]byte, (n+7)/8)
+	nb := (n + 7) / 8
+	for i := 0; i < nb; i++ {
+		buf[i] = 0
+	}
 	pos := 0
 	for _, e := range line {
 		m := mask
@@ -20,11 +26,21 @@ func gatherField(line pte.Line, mask uint64) []byte {
 			b := bits.TrailingZeros64(m)
 			m &= m - 1
 			if uint64(e)>>uint(b)&1 == 1 {
-				out[pos/8] |= 1 << (pos % 8)
+				buf[pos/8] |= 1 << (pos % 8)
 			}
 			pos++
 		}
 	}
+	return nb
+}
+
+// gatherField is the allocating convenience form of gatherFieldInto, kept
+// for tests and cold paths.
+func gatherField(line pte.Line, mask uint64) []byte {
+	var buf [pte.LineBytes]byte
+	n := gatherFieldInto(&buf, line, mask)
+	out := make([]byte, n)
+	copy(out, buf[:n])
 	return out
 }
 

@@ -24,12 +24,36 @@ func (g *Guard) correct(line pte.Line, addr uint64, stored mac.Tag) (pte.Line, i
 	k := g.cfg.SoftMatchK
 	guesses := 0
 
+	// The guess loop dominates the verify hot path: every candidate is the
+	// faulty image with a handful of bits changed, i.e. it differs from the
+	// base in at most a couple of 16-byte cipher chunks. Enciphering the
+	// base image's chunks once and re-enciphering only each candidate's
+	// dirty chunks cuts the cipher work of the x86_64 search (up to 372
+	// guesses) by roughly 4x versus a full 4-chunk MAC per guess. Every
+	// guess still counts as one ReadMACCompute (one logical verification);
+	// ChunkEncrypts carries the honest cipher-work accounting.
+	incremental := !g.cfg.DisableIncrementalMAC
+	var cc mac.ChunkCache
+	if incremental {
+		cc = g.auth.Precompute(maskedImage(line, f.ProtectedMask), addr)
+		g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
+	}
+
 	check := func(cand pte.Line) bool {
 		guesses++
 		if g.cfg.OptZeroMAC && g.isZeroProtected(cand, stored, k) {
 			return true
 		}
-		computed := g.auth.Compute(maskedImage(cand, f.ProtectedMask), addr)
+		img := maskedImage(cand, f.ProtectedMask)
+		var computed mac.Tag
+		if incremental {
+			var enc int
+			computed, enc = g.auth.ComputeDelta(&cc, &img)
+			g.ctr.ChunkEncrypts += uint64(enc)
+		} else {
+			computed = g.auth.Compute(img, addr)
+			g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
+		}
 		g.ctr.ReadMACComputes++
 		ok, err := computed.SoftMatch(stored, k)
 		return err == nil && ok
@@ -191,7 +215,7 @@ func (g *Guard) majorityTopPFN(line pte.Line) pte.Line {
 		return line
 	}
 	topBits := width - contiguityBottomBits
-	votes := make([]int, topBits)
+	var votes [64]int // fixed-size: keeps the correction search allocation-free
 	nonZero := 0
 	for _, e := range line {
 		if uint64(e)&f.ProtectedMask == 0 {

@@ -71,6 +71,11 @@ type Config struct {
 	DisableZeroReset    bool
 	DisableFlagVote     bool
 	DisableContiguity   bool
+	// DisableIncrementalMAC makes every correction guess recompute the
+	// full line MAC instead of riding the per-chunk cipher cache (the
+	// reference path the equivalence tests compare against; also useful
+	// to measure the incremental search's cipher-work saving).
+	DisableIncrementalMAC bool
 	// CTBEntries sizes the Collision Tracking Buffer; 0 selects 4.
 	CTBEntries int
 	// MACLatencyCycles is the MAC computation delay used by the timing
@@ -106,6 +111,7 @@ type Counters struct {
 	ProtectedWrites   uint64 // writes that matched the pattern (MAC embedded)
 	WriteMACComputes  uint64 // MAC computations on the write path
 	ReadMACComputes   uint64 // MAC computations on the read path
+	ChunkEncrypts     uint64 // cipher chunk encryptions (4 per full QARMA-128 MAC, 8 per QARMA-64; correction guesses re-encipher only dirty chunks)
 	PTEWalkChecks     uint64 // page-table-walk integrity checks
 	VerifyFailures    uint64 // uncorrectable integrity failures
 	Corrections       uint64 // successful best-effort corrections
@@ -201,6 +207,7 @@ func (g *Guard) PublishObs(r *obs.Registry) {
 	r.SetCounter("guard.protected_writes", g.ctr.ProtectedWrites)
 	r.SetCounter("guard.write_mac_computes", g.ctr.WriteMACComputes)
 	r.SetCounter("guard.read_mac_computes", g.ctr.ReadMACComputes)
+	r.SetCounter("guard.chunk_encrypts", g.ctr.ChunkEncrypts)
 	r.SetCounter("guard.pte_walk_checks", g.ctr.PTEWalkChecks)
 	r.SetCounter("guard.verify_failures", g.ctr.VerifyFailures)
 	r.SetCounter("guard.corrections", g.ctr.Corrections)
@@ -266,10 +273,12 @@ func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
 		} else {
 			tag = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 			g.ctr.WriteMACComputes++
+			g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 			res.MACComputed = true
 			g.o.Emit("mac", "embed", uint64(g.cfg.MACLatencyCycles))
 		}
-		out := scatterField(line, f.MACMask, tag.Bytes())
+		raw := tag.Raw()
+		out := scatterField(line, f.MACMask, raw[:tag.SizeBytes()])
 		if g.cfg.OptIdentifier {
 			out = scatterField(out, f.IdentifierMask, g.ident)
 		}
@@ -285,16 +294,21 @@ func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
 	// the MAC the read path would compute (§IV-D). Under the identifier
 	// optimization a read only consults the MAC when the identifier
 	// matches, so only such lines can collide (§V-A).
+	var buf [pte.LineBytes]byte
 	collisionPossible := true
 	if g.cfg.OptIdentifier {
-		collisionPossible = bytesEqual(gatherField(line, f.IdentifierMask), g.ident)
+		n := gatherFieldInto(&buf, line, f.IdentifierMask)
+		collisionPossible = bytesEqual(buf[:n], g.ident)
 	}
 	res := WriteResult{Line: line}
 	if collisionPossible {
 		tag := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 		g.ctr.WriteMACComputes++
+		g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 		res.MACComputed = true
-		if bytesEqual(gatherField(line, f.MACMask), tag.Bytes()) {
+		n := gatherFieldInto(&buf, line, f.MACMask)
+		raw := tag.Raw()
+		if bytesEqual(buf[:n], raw[:tag.SizeBytes()]) {
 			if err := g.ctb.add(addr); err != nil {
 				g.o.Emit("ctb", "full", 0)
 				return res, err
@@ -349,7 +363,9 @@ func (g *Guard) OnRead(line pte.Line, addr uint64, isPTE bool) ReadResult {
 func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
 	g.ctr.PTEWalkChecks++
 	f := g.cfg.Format
-	stored, _ := mac.TagFromBytes(gatherField(line, f.MACMask), g.cfg.TagBits)
+	var buf [pte.LineBytes]byte
+	n := gatherFieldInto(&buf, line, f.MACMask)
+	stored, _ := mac.TagFromBytes(buf[:n], g.cfg.TagBits)
 
 	// Zero fast path (§V-B): an all-zero payload carrying MAC-zero.
 	if g.cfg.OptZeroMAC && g.isZeroProtected(line, stored, 0) {
@@ -361,6 +377,7 @@ func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
 
 	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 	g.ctr.ReadMACComputes++
+	g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 	g.o.Emit("mac", "verify", uint64(g.cfg.MACLatencyCycles))
 	res := ReadResult{MACComputed: true}
 	if computed.Equal(stored) {
@@ -393,15 +410,18 @@ func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
 // otherwise forward the line untouched (§IV-C, §IV-E).
 func (g *Guard) readData(line pte.Line, addr uint64) ReadResult {
 	f := g.cfg.Format
+	var buf [pte.LineBytes]byte
 	if g.cfg.OptIdentifier {
-		if !bytesEqual(gatherField(line, f.IdentifierMask), g.ident) {
+		n := gatherFieldInto(&buf, line, f.IdentifierMask)
+		if !bytesEqual(buf[:n], g.ident) {
 			// No identifier: the common case; skip the MAC unit
 			// entirely (§V-A).
 			g.ctr.IdentifierSkips++
 			return ReadResult{Line: line}
 		}
 	}
-	stored, _ := mac.TagFromBytes(gatherField(line, f.MACMask), g.cfg.TagBits)
+	n := gatherFieldInto(&buf, line, f.MACMask)
+	stored, _ := mac.TagFromBytes(buf[:n], g.cfg.TagBits)
 	if g.cfg.OptZeroMAC && g.isZeroProtected(line, stored, 0) {
 		g.ctr.ZeroFastPathHits++
 		g.ctr.StrippedReads++
@@ -410,6 +430,7 @@ func (g *Guard) readData(line pte.Line, addr uint64) ReadResult {
 	}
 	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
 	g.ctr.ReadMACComputes++
+	g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 	g.o.Emit("mac", "verify", uint64(g.cfg.MACLatencyCycles))
 	res := ReadResult{MACComputed: true}
 	if computed.Equal(stored) {

@@ -65,6 +65,12 @@ type Location struct {
 // Device is a DRAM module: sparse line storage plus per-bank row-buffer
 // state and per-row activation counters for the Rowhammer model.
 // Device is not safe for concurrent use.
+//
+// The per-row bookkeeping (activation counters, flip attribution) is held
+// in dense slices indexed by bank*RowsPerBank+row: the geometry is fixed at
+// construction, so a direct index replaces the map hashing that used to
+// dominate the activate path, and the refresh window resets in place
+// instead of reallocating.
 type Device struct {
 	geo    Geometry
 	timing Timing
@@ -76,8 +82,11 @@ type Device struct {
 	openRow []int
 
 	// activations counts row activations since the last refresh window,
-	// keyed by (bank index, row).
-	activations map[bankRow]int
+	// indexed by rowIndex. actTouched lists the indices with a non-zero
+	// count so RefreshWindow clears only what was touched (O(hot rows),
+	// allocation-free) instead of zeroing the whole module.
+	activations []int32
+	actTouched  []int32
 
 	// autoRefreshEvery, when positive, clears activation counters after
 	// that many accesses: the periodic auto-refresh (tREFW) that bounds
@@ -85,10 +94,12 @@ type Device struct {
 	autoRefreshEvery int
 	accessesSinceRef int
 
-	// flips attributes injected bit flips to their (bank, row), so fault
-	// campaigns can tell which rows and banks ate the faults.
-	flips      map[bankRow]uint64
-	flipsTotal uint64
+	// flips attributes injected bit flips to their rowIndex, so fault
+	// campaigns can tell which rows and banks ate the faults; flipTouched
+	// lists the rows with at least one flip for iteration.
+	flips       []uint64
+	flipTouched []int32
+	flipsTotal  uint64
 
 	reads, writes, rowHits, rowMisses uint64
 	refreshWindows                    uint64
@@ -98,9 +109,10 @@ type Device struct {
 	o *obs.Observer
 }
 
-type bankRow struct {
-	bank int
-	row  int
+// rowIndex flattens (global bank index, row) into the dense bookkeeping
+// slices' index space.
+func (d *Device) rowIndex(bankIdx, row int) int32 {
+	return int32(bankIdx*d.geo.RowsPerBank + row)
 }
 
 // NewDevice builds a device; zero-value Geometry/Timing select defaults.
@@ -119,13 +131,14 @@ func NewDevice(geo Geometry, timing Timing) (*Device, error) {
 	for i := range open {
 		open[i] = -1
 	}
+	nRows := nBanks * geo.RowsPerBank
 	return &Device{
 		geo:         geo,
 		timing:      timing,
 		lines:       make(map[uint64]pte.Line),
 		openRow:     open,
-		activations: make(map[bankRow]int),
-		flips:       make(map[bankRow]uint64),
+		activations: make([]int32, nRows),
+		flips:       make([]uint64, nRows),
 	}, nil
 }
 
@@ -214,11 +227,23 @@ func (d *Device) SetAutoRefresh(accesses int) {
 func (d *Device) RefreshWindows() uint64 { return d.refreshWindows }
 
 func (d *Device) activate(bankIdx, row int) {
-	d.activations[bankRow{bank: bankIdx, row: row}]++
+	d.addActivations(bankIdx, row, 1)
 	if d.o != nil {
 		d.o.EmitArgs("dram", "act", 0,
 			map[string]uint64{"bank": uint64(bankIdx), "row": uint64(row)})
 	}
+}
+
+// addActivations bumps a row's activation counter, registering the row in
+// the touched list on its first activation of the window, and returns the
+// new count. It is the single mutation point for the dense counters.
+func (d *Device) addActivations(bankIdx, row, count int) int {
+	idx := d.rowIndex(bankIdx, row)
+	if d.activations[idx] == 0 && count != 0 {
+		d.actTouched = append(d.actTouched, idx)
+	}
+	d.activations[idx] += int32(count)
+	return int(d.activations[idx])
 }
 
 // Activations returns the activation count of the row containing addr since
@@ -226,13 +251,19 @@ func (d *Device) activate(bankIdx, row int) {
 func (d *Device) Activations(addr uint64) int {
 	loc := d.Locate(addr)
 	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
-	return d.activations[bankRow{bank: bankIdx, row: loc.Row}]
+	return int(d.activations[d.rowIndex(bankIdx, loc.Row)])
 }
 
 // RefreshWindow models the periodic auto-refresh: activation counters reset
-// (charge restored) and all banks precharge.
+// (charge restored) and all banks precharge. The reset is in place — only
+// the rows touched since the last window are cleared and the touched list's
+// capacity is retained — so steady-state refresh costs zero allocations
+// (BenchmarkRefreshWindow pins this).
 func (d *Device) RefreshWindow() {
-	d.activations = make(map[bankRow]int)
+	for _, idx := range d.actTouched {
+		d.activations[idx] = 0
+	}
+	d.actTouched = d.actTouched[:0]
 	for i := range d.openRow {
 		d.openRow[i] = -1
 	}
@@ -310,7 +341,11 @@ func (d *Device) PublishObs(r *obs.Registry) {
 func (d *Device) recordFlips(addr uint64, n int) {
 	loc := d.Locate(addr)
 	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
-	d.flips[bankRow{bank: bankIdx, row: loc.Row}] += uint64(n)
+	idx := d.rowIndex(bankIdx, loc.Row)
+	if d.flips[idx] == 0 && n != 0 {
+		d.flipTouched = append(d.flipTouched, idx)
+	}
+	d.flips[idx] += uint64(n)
 	d.flipsTotal += uint64(n)
 	if d.o != nil {
 		d.o.EmitArgs("fault", "flip", 0, map[string]uint64{
@@ -326,18 +361,20 @@ type FlipCount struct {
 }
 
 // FlipCounts returns per-row flip attribution for every row that received
-// at least one flip, sorted by (bank, row) for deterministic output.
+// at least one flip, sorted by (bank, row) for deterministic output. The
+// dense index already orders by (bank, row), so sorting the touched list
+// suffices.
 func (d *Device) FlipCounts() []FlipCount {
-	out := make([]FlipCount, 0, len(d.flips))
-	for br, n := range d.flips {
-		out = append(out, FlipCount{Bank: br.bank, Row: br.row, Flips: n})
+	touched := append([]int32(nil), d.flipTouched...)
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	out := make([]FlipCount, 0, len(touched))
+	for _, idx := range touched {
+		out = append(out, FlipCount{
+			Bank:  int(idx) / d.geo.RowsPerBank,
+			Row:   int(idx) % d.geo.RowsPerBank,
+			Flips: d.flips[idx],
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bank != out[j].Bank {
-			return out[i].Bank < out[j].Bank
-		}
-		return out[i].Row < out[j].Row
-	})
 	return out
 }
 
@@ -345,8 +382,8 @@ func (d *Device) FlipCounts() []FlipCount {
 // (channel*BanksPerChannel + bank).
 func (d *Device) BankFlips() []uint64 {
 	out := make([]uint64, d.geo.Channels*d.geo.BanksPerChannel)
-	for br, n := range d.flips {
-		out[br.bank] += n
+	for _, idx := range d.flipTouched {
+		out[int(idx)/d.geo.RowsPerBank] += d.flips[idx]
 	}
 	return out
 }
@@ -355,5 +392,5 @@ func (d *Device) BankFlips() []uint64 {
 func (d *Device) RowFlips(addr uint64) uint64 {
 	loc := d.Locate(addr)
 	bankIdx := loc.Channel*d.geo.BanksPerChannel + loc.Bank
-	return d.flips[bankRow{bank: bankIdx, row: loc.Row}]
+	return d.flips[d.rowIndex(bankIdx, loc.Row)]
 }

@@ -105,8 +105,7 @@ func (h *Hammerer) FlipsInjected() uint64 { return h.flips }
 func (h *Hammerer) HammerRow(aggressorAddr uint64, count int, distances []int) []int {
 	loc := h.dev.Locate(aggressorAddr)
 	bankIdx := loc.Channel*h.dev.geo.BanksPerChannel + loc.Bank
-	h.dev.activations[bankRow{bank: bankIdx, row: loc.Row}] += count
-	if h.dev.activations[bankRow{bank: bankIdx, row: loc.Row}] < h.cfg.Threshold {
+	if h.dev.addActivations(bankIdx, loc.Row, count) < h.cfg.Threshold {
 		return nil
 	}
 	var hit []int

@@ -1,0 +1,75 @@
+package dram
+
+import "testing"
+
+// RefreshWindow used to reallocate the whole activation map every window;
+// with the dense counters it must reset in place. These gates keep the
+// steady-state refresh path allocation-free.
+
+func TestRefreshWindowZeroAlloc(t *testing.T) {
+	d, err := NewDevice(Geometry{}, Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the touched list's capacity once, as a long-running simulation
+	// would, then require steady-state windows to stay off the heap.
+	for i := 0; i < 64; i++ {
+		d.Access(uint64(i)*8192, false)
+	}
+	d.RefreshWindow()
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			d.Access(uint64(i)*8192, i%2 == 0)
+		}
+		d.RefreshWindow()
+	}); n != 0 {
+		t.Errorf("steady-state access+refresh window allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestRefreshWindowClearsTouchedRowsOnly(t *testing.T) {
+	d, err := NewDevice(Geometry{}, Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []uint64{0, 1 << 20, 3 << 21}
+	for _, a := range addrs {
+		d.Access(a, false)
+		d.Access(a, false) // row hit: no second activation
+	}
+	for _, a := range addrs {
+		if d.Activations(a) != 1 {
+			t.Fatalf("addr %#x: %d activations, want 1", a, d.Activations(a))
+		}
+	}
+	d.RefreshWindow()
+	for _, a := range addrs {
+		if d.Activations(a) != 0 {
+			t.Errorf("addr %#x: %d activations after refresh, want 0", a, d.Activations(a))
+		}
+	}
+	if got := len(d.actTouched); got != 0 {
+		t.Errorf("touched list holds %d entries after refresh, want 0", got)
+	}
+	if cap(d.actTouched) == 0 {
+		t.Error("touched list capacity was released; reset must be in place")
+	}
+}
+
+// BenchmarkRefreshWindow is the regression benchmark for the per-window
+// reallocation bug: a window of accesses followed by the refresh must show
+// zero allocs/op.
+func BenchmarkRefreshWindow(b *testing.B) {
+	d, err := NewDevice(Geometry{}, Timing{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 128; j++ {
+			d.Access(uint64(j)*8192+uint64(i%4)*524288, false)
+		}
+		d.RefreshWindow()
+	}
+}

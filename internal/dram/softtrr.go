@@ -16,8 +16,9 @@ type SoftTRR struct {
 	// samplerThreshold is the activation count at which the kernel
 	// issues a mitigative read of a tracked PTE row.
 	samplerThreshold int
-	// pteRows marks the rows registered as holding page tables.
-	pteRows map[bankRow]bool
+	// pteRows marks the rows registered as holding page tables: a dense
+	// bitset over the device's rowIndex space (one bit per row).
+	pteRows []uint64
 
 	mitigations uint64
 }
@@ -30,11 +31,12 @@ func NewSoftTRR(dev *Device, hmr *Hammerer, samplerThreshold int) (*SoftTRR, err
 	if samplerThreshold <= 0 {
 		return nil, errors.New("dram: sampler threshold must be positive")
 	}
+	nRows := dev.geo.Channels * dev.geo.BanksPerChannel * dev.geo.RowsPerBank
 	return &SoftTRR{
 		dev:              dev,
 		hmr:              hmr,
 		samplerThreshold: samplerThreshold,
-		pteRows:          make(map[bankRow]bool),
+		pteRows:          make([]uint64, (nRows+63)/64),
 	}, nil
 }
 
@@ -43,7 +45,14 @@ func NewSoftTRR(dev *Device, hmr *Hammerer, samplerThreshold int) (*SoftTRR, err
 func (s *SoftTRR) RegisterPTERow(addr uint64) {
 	loc := s.dev.Locate(addr)
 	bankIdx := loc.Channel*s.dev.geo.BanksPerChannel + loc.Bank
-	s.pteRows[bankRow{bank: bankIdx, row: loc.Row}] = true
+	idx := s.dev.rowIndex(bankIdx, loc.Row)
+	s.pteRows[idx/64] |= 1 << (idx % 64)
+}
+
+// isPTERow reports whether the bitset marks (bankIdx, row).
+func (s *SoftTRR) isPTERow(bankIdx, row int) bool {
+	idx := s.dev.rowIndex(bankIdx, row)
+	return s.pteRows[idx/64]>>(idx%64)&1 == 1
 }
 
 // Mitigations returns the number of software refreshes issued.
@@ -91,7 +100,7 @@ func (s *SoftTRR) HammerWithSoftTRR(aggressorAddr uint64, count int) []int {
 				if victim < 0 || victim >= s.dev.geo.RowsPerBank {
 					continue
 				}
-				if !s.pteRows[bankRow{bank: bankIdx, row: victim}] {
+				if !s.isPTERow(bankIdx, victim) {
 					continue // the kernel never looks at it
 				}
 				// Mitigative read: charge restored, but the

@@ -43,12 +43,11 @@ func (t *TRR) Refreshes() uint64 { return t.refreshes }
 func (t *TRR) HammerWithTRR(aggressorAddr uint64, count int) []int {
 	loc := t.dev.Locate(aggressorAddr)
 	bankIdx := loc.Channel*t.dev.geo.BanksPerChannel + loc.Bank
-	agg := bankRow{bank: bankIdx, row: loc.Row}
+	agg := t.dev.rowIndex(bankIdx, loc.Row)
 
 	var flipped []int
 	for issued := 0; issued < count; issued++ {
-		t.dev.activations[agg]++
-		if t.dev.activations[agg] < t.samplerThreshold {
+		if t.dev.addActivations(bankIdx, loc.Row, 1) < t.samplerThreshold {
 			continue
 		}
 		// Mitigate: refresh the distance-1 neighbours. Charge is
@@ -64,9 +63,8 @@ func (t *TRR) HammerWithTRR(aggressorAddr uint64, count int) []int {
 			// The refresh is itself a row activation of the
 			// victim row: its neighbours at distance 2 from the
 			// original aggressor take disturbance.
-			v := bankRow{bank: bankIdx, row: victim}
-			t.dev.activations[v]++
-			if t.dev.activations[v] >= t.hmr.cfg.Threshold {
+			v := t.dev.rowIndex(bankIdx, victim)
+			if t.dev.addActivations(bankIdx, victim, 1) >= t.hmr.cfg.Threshold {
 				far := victim + d
 				if far < 0 || far >= t.dev.geo.RowsPerBank {
 					continue

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"ptguard/internal/attack"
 	"ptguard/internal/mac"
@@ -24,19 +23,10 @@ import (
 
 // DeriveSeed maps (campaign seed, job key) to the job's simulation seed: a
 // pure function, so results never depend on worker count or scheduling
-// order. The key is FNV-1a-hashed, mixed with the campaign seed, and
-// finalised with the SplitMix64 mixer for avalanche.
+// order. It is stats.DeriveSeed, re-exported here because the job keys of
+// every journal on disk were derived through this name.
 func DeriveSeed(campaignSeed uint64, key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	z := campaignSeed ^ h.Sum64()
-	z += 0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return z
+	return stats.DeriveSeed(campaignSeed, key)
 }
 
 // ObsSpec turns on per-job observability for a campaign: each job's runs

@@ -45,6 +45,20 @@ func (t Tag) Bytes() []byte {
 	return out
 }
 
+// SizeBytes returns ceil(bits/8), the number of significant tag bytes.
+func (t Tag) SizeBytes() int { return (t.bits + 7) / 8 }
+
+// Raw returns the tag's full 16-byte little-endian backing store (unused
+// high bytes zero). With SizeBytes it gives hot paths an allocation-free
+// alternative to Bytes: slice the returned array on the caller's stack.
+func (t Tag) Raw() [16]byte { return t.data }
+
+// AppendBytes appends the SizeBytes significant tag bytes to dst and
+// returns the extended slice, the append-style counterpart of Bytes.
+func (t Tag) AppendBytes(dst []byte) []byte {
+	return append(dst, t.data[:(t.bits+7)/8]...)
+}
+
 // Bit returns bit i of the tag.
 func (t Tag) Bit(i int) uint64 {
 	if i < 0 || i >= t.bits {
@@ -183,46 +197,56 @@ func New(key []byte, opts ...Option) (*Authenticator, error) {
 // TagBits returns the configured MAC width.
 func (a *Authenticator) TagBits() int { return a.tagBits }
 
-// Compute returns the MAC over a 64-byte line image at physical address
-// addr. Callers must zero the bits not covered by the MAC (the MAC field,
-// the identifier field, the accessed bits and any ignored bits) before
-// calling, per Table IV; internal/core does this.
-func (a *Authenticator) Compute(line [LineBytes]byte, addr uint64) Tag {
+// Chunks returns the number of chunk encryptions one full MAC computation
+// performs: 4 sixteen-byte chunks under QARMA-128, 8 eight-byte chunks
+// under QARMA-64. It is the unit of the simulator's cipher-work accounting.
+func (a *Authenticator) Chunks() int {
 	if a.cipher64 != nil {
-		return a.compute64(line, addr)
+		return chunks64
 	}
-	var acc qarma.Block
-	for i := 0; i < 4; i++ {
-		var chunk, tweak qarma.Block
-		copy(chunk[:], line[i*16:(i+1)*16])
-		// A_i is the chunk's own 16-byte-aligned physical address,
-		// which both binds the MAC to its location (§IV-G) and makes
-		// the four chunk inputs distinct.
-		chunkAddr := addr + uint64(i*16)
-		for b := 0; b < 8; b++ {
-			tweak[b] = byte(chunkAddr >> (8 * b))
-		}
-		q := a.cipher.Encrypt(xorBlock(chunk, tweak), tweak)
-		acc = xorBlock(acc, q)
+	return chunks128
+}
+
+const (
+	chunks128 = LineBytes / qarma.BlockSize   // 4 chunks of 16 bytes
+	chunks64  = LineBytes / qarma.Block64Size // 8 chunks of 8 bytes
+)
+
+// encryptChunk enciphers 16-byte chunk i of the line image at addr under
+// QARMA-128. A_i is the chunk's own 16-byte-aligned physical address, which
+// both binds the MAC to its location (§IV-G) and makes the chunk inputs
+// distinct.
+func (a *Authenticator) encryptChunk(line *[LineBytes]byte, addr uint64, i int) qarma.Block {
+	var chunk, tweak qarma.Block
+	copy(chunk[:], line[i*qarma.BlockSize:(i+1)*qarma.BlockSize])
+	chunkAddr := addr + uint64(i*qarma.BlockSize)
+	for b := 0; b < 8; b++ {
+		tweak[b] = byte(chunkAddr >> (8 * b))
 	}
+	return a.cipher.Encrypt(xorBlock(chunk, tweak), tweak)
+}
+
+// encryptChunk64 enciphers 8-byte chunk i under QARMA-64, bound to the
+// chunk's own address.
+func (a *Authenticator) encryptChunk64(line *[LineBytes]byte, addr uint64, i int) uint64 {
+	var chunk uint64
+	for b := 0; b < 8; b++ {
+		chunk |= uint64(line[i*qarma.Block64Size+b]) << (8 * b)
+	}
+	chunkAddr := addr + uint64(i*qarma.Block64Size)
+	return a.cipher64.Encrypt(chunk^chunkAddr, chunkAddr)
+}
+
+// tagFromBlock masks a folded 128-bit accumulator down to the tag width.
+func (a *Authenticator) tagFromBlock(acc qarma.Block) Tag {
 	t := Tag{bits: a.tagBits}
 	copy(t.data[:], acc[:])
 	maskTail(&t.data, a.tagBits)
 	return t
 }
 
-// compute64 folds eight QARMA-64 calls, one per 8-byte chunk, each bound to
-// its chunk address.
-func (a *Authenticator) compute64(line [LineBytes]byte, addr uint64) Tag {
-	var acc uint64
-	for i := 0; i < 8; i++ {
-		var chunk uint64
-		for b := 0; b < 8; b++ {
-			chunk |= uint64(line[i*8+b]) << (8 * b)
-		}
-		chunkAddr := addr + uint64(i*8)
-		acc ^= a.cipher64.Encrypt(chunk^chunkAddr, chunkAddr)
-	}
+// tagFromUint64 masks a folded 64-bit accumulator down to the tag width.
+func (a *Authenticator) tagFromUint64(acc uint64) Tag {
 	t := Tag{bits: a.tagBits}
 	for b := 0; b < 8; b++ {
 		t.data[b] = byte(acc >> (8 * b))
@@ -231,24 +255,115 @@ func (a *Authenticator) compute64(line [LineBytes]byte, addr uint64) Tag {
 	return t
 }
 
+// Compute returns the MAC over a 64-byte line image at physical address
+// addr. Callers must zero the bits not covered by the MAC (the MAC field,
+// the identifier field, the accessed bits and any ignored bits) before
+// calling, per Table IV; internal/core does this. Compute performs zero
+// heap allocations (enforced by TestComputeZeroAlloc).
+func (a *Authenticator) Compute(line [LineBytes]byte, addr uint64) Tag {
+	if a.cipher64 != nil {
+		var acc uint64
+		for i := 0; i < chunks64; i++ {
+			acc ^= a.encryptChunk64(&line, addr, i)
+		}
+		return a.tagFromUint64(acc)
+	}
+	var acc qarma.Block
+	for i := 0; i < chunks128; i++ {
+		acc = xorBlock(acc, a.encryptChunk(&line, addr, i))
+	}
+	return a.tagFromBlock(acc)
+}
+
+// ChunkCache holds the per-chunk cipher outputs of one base line image at
+// one address. The §VI-D correction search checks hundreds of candidate
+// lines that each differ from the faulty base image in at most a chunk or
+// two; caching the base chunk outputs lets each candidate re-encipher only
+// its dirty chunks instead of recomputing the full four-chunk MAC.
+type ChunkCache struct {
+	base  [LineBytes]byte
+	addr  uint64
+	out   [chunks128]qarma.Block // QARMA-128 mode
+	out64 [chunks64]uint64       // QARMA-64 mode
+	use64 bool
+}
+
+// Addr returns the physical address the cache was primed for.
+func (cc *ChunkCache) Addr() uint64 { return cc.addr }
+
+// Precompute enciphers every chunk of the base line image and returns the
+// primed cache. It costs exactly Chunks() chunk encryptions — the same
+// cipher work as one Compute call over the base image.
+func (a *Authenticator) Precompute(line [LineBytes]byte, addr uint64) ChunkCache {
+	cc := ChunkCache{base: line, addr: addr, use64: a.cipher64 != nil}
+	if cc.use64 {
+		for i := 0; i < chunks64; i++ {
+			cc.out64[i] = a.encryptChunk64(&cc.base, addr, i)
+		}
+		return cc
+	}
+	for i := 0; i < chunks128; i++ {
+		cc.out[i] = a.encryptChunk(&cc.base, addr, i)
+	}
+	return cc
+}
+
+// ComputeDelta returns the MAC of cand at the cache's address,
+// re-enciphering only the chunks where cand differs from the cached base
+// image and XOR-folding the cached outputs for the clean chunks. The
+// result is byte-identical to Compute(*cand, cc.Addr()); the second return
+// value is the number of chunk encryptions actually performed (0 when cand
+// equals the base, up to Chunks() when every chunk is dirty), which keeps
+// the simulator's cipher-work accounting honest.
+func (a *Authenticator) ComputeDelta(cc *ChunkCache, cand *[LineBytes]byte) (Tag, int) {
+	encrypted := 0
+	if cc.use64 {
+		var acc uint64
+		for i := 0; i < chunks64; i++ {
+			if chunkEqual(cand, &cc.base, i*qarma.Block64Size, qarma.Block64Size) {
+				acc ^= cc.out64[i]
+				continue
+			}
+			acc ^= a.encryptChunk64(cand, cc.addr, i)
+			encrypted++
+		}
+		return a.tagFromUint64(acc), encrypted
+	}
+	var acc qarma.Block
+	for i := 0; i < chunks128; i++ {
+		if chunkEqual(cand, &cc.base, i*qarma.BlockSize, qarma.BlockSize) {
+			acc = xorBlock(acc, cc.out[i])
+			continue
+		}
+		acc = xorBlock(acc, a.encryptChunk(cand, cc.addr, i))
+		encrypted++
+	}
+	return a.tagFromBlock(acc), encrypted
+}
+
+// chunkEqual reports whether the n-byte chunks at offset off match.
+func chunkEqual(a, b *[LineBytes]byte, off, n int) bool {
+	for i := off; i < off+n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ZeroLineTag returns the precomputed MAC-zero of §V-B: the tag of an
 // all-zero line computed without the address input, shared by every zero
 // line in memory. It costs 12 bytes of SRAM in hardware.
 func (a *Authenticator) ZeroLineTag() Tag {
 	if a.cipher64 != nil {
 		var acc uint64
-		for i := 0; i < 8; i++ {
+		for i := 0; i < chunks64; i++ {
 			acc ^= a.cipher64.Encrypt(0, uint64(i))
 		}
-		t := Tag{bits: a.tagBits}
-		for b := 0; b < 8; b++ {
-			t.data[b] = byte(acc >> (8 * b))
-		}
-		maskTail(&t.data, a.tagBits)
-		return t
+		return a.tagFromUint64(acc)
 	}
 	var acc qarma.Block
-	for i := 0; i < 4; i++ {
+	for i := 0; i < chunks128; i++ {
 		var chunk, tweak qarma.Block
 		// Without an address, the chunk index alone differentiates the
 		// four cipher calls (identical inputs would XOR-cancel).
@@ -256,10 +371,7 @@ func (a *Authenticator) ZeroLineTag() Tag {
 		q := a.cipher.Encrypt(chunk, tweak)
 		acc = xorBlock(acc, q)
 	}
-	t := Tag{bits: a.tagBits}
-	copy(t.data[:], acc[:])
-	maskTail(&t.data, a.tagBits)
-	return t
+	return a.tagFromBlock(acc)
 }
 
 func xorBlock(x, y qarma.Block) qarma.Block {

@@ -35,6 +35,10 @@ const KeySize = 32
 // "18-round QARMA-128" operating point (8 + 2 central + 8).
 const DefaultRounds = 8
 
+// MaxRounds is the largest accepted forward round count. The tweak schedule
+// is sized by it so Encrypt/Decrypt work entirely on the stack.
+const MaxRounds = 15
+
 // Block is a 128-bit cipher block, stored as 16 eight-bit cells.
 type Block [BlockSize]byte
 
@@ -84,7 +88,11 @@ var _alpha = Block{0xc0, 0xac, 0x29, 0xb7, 0xc9, 0x7c, 0x50, 0xdd, 0x3f, 0x84, 0
 // It is safe for concurrent use: all methods are read-only on the receiver.
 type Cipher struct {
 	w0, w1, k0, kAlpha Block
-	rounds             int
+	// Per-round tweakeys k0^c[i] and kAlpha^c[i], folded once at key setup
+	// so each round mixes a single precomputed block instead of XORing the
+	// key and round constant separately on every call.
+	kRC, kaRC [MaxRounds]Block
+	rounds    int
 }
 
 // NewCipher builds a cipher from a 256-bit key (w0 || k0) and a forward
@@ -93,7 +101,7 @@ func NewCipher(key []byte, rounds int) (*Cipher, error) {
 	if len(key) != KeySize {
 		return nil, fmt.Errorf("qarma: key must be %d bytes, got %d", KeySize, len(key))
 	}
-	if rounds < 4 || rounds >= len(_roundConsts) {
+	if rounds < 4 || rounds > MaxRounds {
 		return nil, errors.New("qarma: rounds must be in [4, 15]")
 	}
 	c := &Cipher{rounds: rounds}
@@ -101,65 +109,78 @@ func NewCipher(key []byte, rounds int) (*Cipher, error) {
 	copy(c.k0[:], key[16:])
 	c.w1 = ortho(c.w0)
 	c.kAlpha = xorBlocks(c.k0, _alpha)
+	for i := 0; i < rounds; i++ {
+		c.kRC[i] = xorBlocks(c.k0, _roundConsts[i])
+		c.kaRC[i] = xorBlocks(c.kAlpha, _roundConsts[i])
+	}
 	return c, nil
 }
 
 // Encrypt returns the encryption of block p under tweak t.
 func (c *Cipher) Encrypt(p, t Block) Block {
 	tweaks := c.tweakSchedule(t)
-	s := xorBlocks(p, c.w0)
+	s := p
+	xorInPlace(&s, &c.w0)
 	for i := 0; i < c.rounds; i++ {
-		s = xorBlocks(s, xorBlocks(xorBlocks(c.k0, _roundConsts[i]), tweaks[i]))
+		xor3InPlace(&s, &c.kRC[i], &tweaks[i])
 		if i > 0 {
-			s = mixColumns(shuffle(s, _tau))
+			mixShuffled(&s)
 		}
-		s = subCells(s)
+		subCellsInPlace(&s)
 	}
 	// Central involutory pseudo-reflector.
 	s = shuffle(s, _tau)
-	s = mixColumns(xorBlocks(s, c.w1))
+	xorInPlace(&s, &c.w1)
+	mixColumnsInPlace(&s)
 	s = shuffle(s, _tauInv)
 	// Mirrored backward rounds.
 	for i := c.rounds - 1; i >= 0; i-- {
-		s = subCells(s)
+		subCellsInPlace(&s)
 		if i > 0 {
-			s = shuffle(mixColumns(s), _tauInv)
+			shuffleInvMixed(&s)
 		}
-		s = xorBlocks(s, xorBlocks(xorBlocks(c.kAlpha, _roundConsts[i]), tweaks[i]))
+		xor3InPlace(&s, &c.kaRC[i], &tweaks[i])
 	}
-	return xorBlocks(s, c.w1)
+	xorInPlace(&s, &c.w1)
+	return s
 }
 
 // Decrypt inverts Encrypt for the same tweak.
 func (c *Cipher) Decrypt(ct, t Block) Block {
 	tweaks := c.tweakSchedule(t)
-	s := xorBlocks(ct, c.w1)
+	s := ct
+	xorInPlace(&s, &c.w1)
 	for i := 0; i < c.rounds; i++ {
-		s = xorBlocks(s, xorBlocks(xorBlocks(c.kAlpha, _roundConsts[i]), tweaks[i]))
+		xor3InPlace(&s, &c.kaRC[i], &tweaks[i])
 		if i > 0 {
-			s = mixColumns(shuffle(s, _tau))
+			mixShuffled(&s)
 		}
-		s = subCells(s)
+		subCellsInPlace(&s)
 	}
 	s = shuffle(s, _tau)
-	s = xorBlocks(mixColumns(s), c.w1)
+	mixColumnsInPlace(&s)
+	xorInPlace(&s, &c.w1)
 	s = shuffle(s, _tauInv)
 	for i := c.rounds - 1; i >= 0; i-- {
-		s = subCells(s)
+		subCellsInPlace(&s)
 		if i > 0 {
-			s = shuffle(mixColumns(s), _tauInv)
+			shuffleInvMixed(&s)
 		}
-		s = xorBlocks(s, xorBlocks(xorBlocks(c.k0, _roundConsts[i]), tweaks[i]))
+		xor3InPlace(&s, &c.kRC[i], &tweaks[i])
 	}
-	return xorBlocks(s, c.w0)
+	xorInPlace(&s, &c.w0)
+	return s
 }
 
-// tweakSchedule precomputes the per-round tweak values.
-func (c *Cipher) tweakSchedule(t Block) []Block {
-	tweaks := make([]Block, c.rounds)
-	for i := range tweaks {
+// tweakSchedule precomputes the per-round tweak values. It returns a
+// fixed-size array (only the first c.rounds entries are meaningful) so the
+// schedule lives on the caller's stack: the cipher is the innermost loop of
+// every MAC verify and correction guess, and a per-call heap allocation
+// here dominates the whole hot path.
+func (c *Cipher) tweakSchedule(t Block) (tweaks [MaxRounds]Block) {
+	for i := 0; i < c.rounds; i++ {
 		tweaks[i] = t
-		t = advanceTweak(t)
+		advanceTweakInPlace(&t)
 	}
 	return tweaks
 }

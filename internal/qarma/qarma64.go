@@ -15,6 +15,10 @@ const Key64Size = 16
 // operating point.
 const DefaultRounds64 = 7
 
+// MaxRounds64 is the largest accepted QARMA-64 forward round count; the
+// tweak schedule is sized by it so Encrypt/Decrypt never allocate.
+const MaxRounds64 = 8
+
 // Cipher64 is the 64-bit QARMA variant: 16 four-bit cells. It mirrors the
 // 128-bit implementation's reflector structure with the width-specific
 // components of the QARMA paper: the sigma0 S-box applied per nibble, the
@@ -47,7 +51,7 @@ func NewCipher64(key []byte, rounds int) (*Cipher64, error) {
 	if len(key) != Key64Size {
 		return nil, fmt.Errorf("qarma: key must be %d bytes, got %d", Key64Size, len(key))
 	}
-	if rounds < 4 || rounds > len(_roundConsts64) {
+	if rounds < 4 || rounds > MaxRounds64 {
 		return nil, errors.New("qarma: rounds must be in [4, 8]")
 	}
 	var w0, k0 uint64
@@ -112,9 +116,11 @@ func (c *Cipher64) Decrypt(ct, t uint64) uint64 {
 	return s ^ c.w0
 }
 
-func (c *Cipher64) tweakSchedule(t uint64) []uint64 {
-	tweaks := make([]uint64, c.rounds)
-	for i := range tweaks {
+// tweakSchedule precomputes the per-round tweak values into a fixed-size
+// stack array (only the first c.rounds entries are meaningful), mirroring
+// the allocation-free schedule of the 128-bit cipher.
+func (c *Cipher64) tweakSchedule(t uint64) (tweaks [MaxRounds64]uint64) {
+	for i := 0; i < c.rounds; i++ {
 		tweaks[i] = t
 		t = advanceTweak64(t)
 	}

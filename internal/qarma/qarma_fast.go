@@ -1,0 +1,156 @@
+package qarma
+
+import "encoding/binary"
+
+// This file holds the SWAR fast path behind Encrypt/Decrypt. The reference
+// cell-wise primitives (subCells, mixColumns, shuffle, advanceTweak) stay in
+// qarma.go as the readable specification; TestFastPrimitivesMatchReference
+// pins the two bit-for-bit. The fast path views the 16-cell state as two
+// little-endian uint64 lanes for key/tweak mixing and as four uint32 rows
+// for the Almost-MDS diffusion, turning 16 byte-wise operations into a
+// handful of word operations per step.
+
+// _sigma0b is the S-box applied to a whole 8-bit cell (sigma0 on each
+// nibble), so substitution is one table load per cell instead of two
+// lookups plus shifts.
+var _sigma0b = func() (t [256]byte) {
+	for v := 0; v < 256; v++ {
+		t[v] = _sigma0[v>>4]<<4 | _sigma0[v&0xf]
+	}
+	return t
+}()
+
+// _lfsrT tabulates the tweak LFSR omega: x -> x<<1 | (x7^x5^x4^x3).
+var _lfsrT = func() (t [256]byte) {
+	for v := 0; v < 256; v++ {
+		x := byte(v)
+		fb := (x>>7 ^ x>>5 ^ x>>4 ^ x>>3) & 1
+		t[v] = x<<1 | fb
+	}
+	return t
+}()
+
+// Byte-typed copies of the cell permutations: indexing a [16]byte with a
+// byte avoids the int conversions of the reference tables in the hot loop.
+var (
+	_tauB    = toBytePerm(_tau)
+	_tauInvB = toBytePerm(_tauInv)
+	_hB      = toBytePerm(_h)
+)
+
+func toBytePerm(p [16]int) (b [16]byte) {
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+// xorInPlace computes s ^= a over two 64-bit lanes.
+func xorInPlace(s, a *Block) {
+	binary.LittleEndian.PutUint64(s[0:8],
+		binary.LittleEndian.Uint64(s[0:8])^binary.LittleEndian.Uint64(a[0:8]))
+	binary.LittleEndian.PutUint64(s[8:16],
+		binary.LittleEndian.Uint64(s[8:16])^binary.LittleEndian.Uint64(a[8:16]))
+}
+
+// xor3InPlace computes s ^= a ^ b in one pass: the round-tweakey mix.
+func xor3InPlace(s, a, b *Block) {
+	binary.LittleEndian.PutUint64(s[0:8],
+		binary.LittleEndian.Uint64(s[0:8])^
+			binary.LittleEndian.Uint64(a[0:8])^
+			binary.LittleEndian.Uint64(b[0:8]))
+	binary.LittleEndian.PutUint64(s[8:16],
+		binary.LittleEndian.Uint64(s[8:16])^
+			binary.LittleEndian.Uint64(a[8:16])^
+			binary.LittleEndian.Uint64(b[8:16]))
+}
+
+// subCellsInPlace applies the cell S-box via the 256-entry table.
+func subCellsInPlace(s *Block) {
+	for i, v := range s {
+		s[i] = _sigma0b[v]
+	}
+}
+
+// rotl8x4 rotates each of the four 8-bit lanes of x left by k. Shifted-out
+// bits that cross a lane boundary are masked off and re-inserted from the
+// opposing shift, the standard SWAR per-lane rotate.
+func rotl8x4(x uint32, k uint) uint32 {
+	return x<<k&(0x01010101*uint32(0xFF<<k&0xFF)) |
+		x>>(8-k)&(0x01010101*uint32(0xFF>>(8-k)))
+}
+
+// mixRows is M = circ(0, rho^1, rho^4, rho^5) applied to all four columns at
+// once: row i holds cells 4i..4i+3, so each circulant entry becomes one
+// four-lane rotate and the column loop disappears.
+func mixRows(r0, r1, r2, r3 uint32) (o0, o1, o2, o3 uint32) {
+	a1, a4, a5 := rotl8x4(r0, 1), rotl8x4(r0, 4), rotl8x4(r0, 5)
+	b1, b4, b5 := rotl8x4(r1, 1), rotl8x4(r1, 4), rotl8x4(r1, 5)
+	c1, c4, c5 := rotl8x4(r2, 1), rotl8x4(r2, 4), rotl8x4(r2, 5)
+	d1, d4, d5 := rotl8x4(r3, 1), rotl8x4(r3, 4), rotl8x4(r3, 5)
+	o0 = b1 ^ c4 ^ d5
+	o1 = c1 ^ d4 ^ a5
+	o2 = d1 ^ a4 ^ b5
+	o3 = a1 ^ b4 ^ c5
+	return
+}
+
+// mixColumnsInPlace is the in-place SWAR form of mixColumns.
+func mixColumnsInPlace(s *Block) {
+	o0, o1, o2, o3 := mixRows(
+		binary.LittleEndian.Uint32(s[0:4]),
+		binary.LittleEndian.Uint32(s[4:8]),
+		binary.LittleEndian.Uint32(s[8:12]),
+		binary.LittleEndian.Uint32(s[12:16]))
+	binary.LittleEndian.PutUint32(s[0:4], o0)
+	binary.LittleEndian.PutUint32(s[4:8], o1)
+	binary.LittleEndian.PutUint32(s[8:12], o2)
+	binary.LittleEndian.PutUint32(s[12:16], o3)
+}
+
+// mixShuffled computes s = mixColumns(shuffle(s, tau)) in one pass: the tau
+// gather feeds the rows directly, so the shuffled state is never
+// materialised.
+func mixShuffled(s *Block) {
+	r0 := uint32(s[_tauB[0]]) | uint32(s[_tauB[1]])<<8 | uint32(s[_tauB[2]])<<16 | uint32(s[_tauB[3]])<<24
+	r1 := uint32(s[_tauB[4]]) | uint32(s[_tauB[5]])<<8 | uint32(s[_tauB[6]])<<16 | uint32(s[_tauB[7]])<<24
+	r2 := uint32(s[_tauB[8]]) | uint32(s[_tauB[9]])<<8 | uint32(s[_tauB[10]])<<16 | uint32(s[_tauB[11]])<<24
+	r3 := uint32(s[_tauB[12]]) | uint32(s[_tauB[13]])<<8 | uint32(s[_tauB[14]])<<16 | uint32(s[_tauB[15]])<<24
+	o0, o1, o2, o3 := mixRows(r0, r1, r2, r3)
+	binary.LittleEndian.PutUint32(s[0:4], o0)
+	binary.LittleEndian.PutUint32(s[4:8], o1)
+	binary.LittleEndian.PutUint32(s[8:12], o2)
+	binary.LittleEndian.PutUint32(s[12:16], o3)
+}
+
+// shuffleInvMixed computes s = shuffle(mixColumns(s), tauInv): the mirrored
+// backward-round diffusion. The mixed rows land in a temporary and the
+// inverse gather writes the final cell order.
+func shuffleInvMixed(s *Block) {
+	var tmp Block
+	o0, o1, o2, o3 := mixRows(
+		binary.LittleEndian.Uint32(s[0:4]),
+		binary.LittleEndian.Uint32(s[4:8]),
+		binary.LittleEndian.Uint32(s[8:12]),
+		binary.LittleEndian.Uint32(s[12:16]))
+	binary.LittleEndian.PutUint32(tmp[0:4], o0)
+	binary.LittleEndian.PutUint32(tmp[4:8], o1)
+	binary.LittleEndian.PutUint32(tmp[8:12], o2)
+	binary.LittleEndian.PutUint32(tmp[12:16], o3)
+	for i := range s {
+		s[i] = tmp[_tauInvB[i]]
+	}
+}
+
+// advanceTweakInPlace is advanceTweak without the intermediate copies: one
+// h gather plus four LFSR table loads.
+func advanceTweakInPlace(t *Block) {
+	tmp := *t
+	for i := range t {
+		t[i] = tmp[_hB[i]]
+	}
+	t[0] = _lfsrT[t[0]]
+	t[1] = _lfsrT[t[1]]
+	t[3] = _lfsrT[t[3]]
+	t[4] = _lfsrT[t[4]]
+}

@@ -2,9 +2,9 @@ package sim
 
 import (
 	"errors"
+	"strconv"
 
 	"ptguard/internal/core"
-	"ptguard/internal/dram"
 	"ptguard/internal/mac"
 	"ptguard/internal/pte"
 	"ptguard/internal/stats"
@@ -59,6 +59,11 @@ func (r TraceCorrectionResult) CoveragePct() float64 {
 // workload on the guarded system recording its page-table-walk trace, then
 // replay fault injections over the traced PTE cachelines through a
 // correction-enabled guard.
+//
+// The fault-injection trials are sharded across GOMAXPROCS goroutines,
+// each trial drawing its flips from DeriveSeed(Seed, trial index) against a
+// shard-local guard, so results are bit-identical at any parallelism
+// (TestTraceCorrectionShardDeterminism pins serial vs GOMAXPROCS=8).
 func RunTraceCorrection(cfg TraceCorrectionConfig) (TraceCorrectionResult, error) {
 	if cfg.FlipProb <= 0 || cfg.FlipProb >= 1 {
 		return TraceCorrectionResult{}, errors.New("sim: FlipProb outside (0, 1)")
@@ -102,24 +107,26 @@ func RunTraceCorrection(cfg TraceCorrectionConfig) (TraceCorrectionResult, error
 	for i := range key {
 		key[i] = byte(kr.Uint64())
 	}
-	guard, err := core.NewGuard(core.Config{
+	guardCfg := core.Config{
 		Format:           format,
 		Key:              key,
 		EnableCorrection: true,
 		SoftMatchK:       4,
-	})
-	if err != nil {
-		return TraceCorrectionResult{}, err
 	}
-	hmr, err := dram.NewHammerer(s.Device(), dram.HammerConfig{Seed: cfg.Seed ^ 0xFA9})
+	guard, err := core.NewGuard(guardCfg)
 	if err != nil {
 		return TraceCorrectionResult{}, err
 	}
 
-	res := TraceCorrectionResult{TraceLines: len(lines), WalkAccesses: len(trace)}
-	dev := s.Device()
-	for i := 0; res.Erroneous < cfg.Trials; i++ {
-		addr := lines[i%len(lines)]
+	// Protect the traced lines once, serially, to build the trial pool:
+	// lines the guard's write pattern actually protects, with their
+	// architectural and protected images.
+	type candidate struct {
+		addr            uint64
+		arch, protected pte.Line
+	}
+	var pool []candidate
+	for _, addr := range lines {
 		arch, ok := s.Tables().LineAt(addr)
 		if !ok {
 			continue
@@ -128,22 +135,70 @@ func RunTraceCorrection(cfg TraceCorrectionConfig) (TraceCorrectionResult, error
 		if werr != nil || !w.Protected {
 			continue
 		}
-		dev.WriteLine(addr, w.Line)
-		if hmr.InjectLineFaults(addr, cfg.FlipProb) == 0 {
-			continue
-		}
-		res.Erroneous++
-		rd := guard.OnRead(dev.ReadLine(addr), addr, true)
+		pool = append(pool, candidate{addr: addr, arch: arch, protected: w.Line})
+	}
+	if len(pool) == 0 {
+		return TraceCorrectionResult{}, errors.New("sim: no protectable lines in walk trace")
+	}
+
+	// Sharded fault-injection trials. Each trial flips the protected
+	// image with its own DeriveSeed RNG, redrawing until at least one bit
+	// flips (every trial is an erroneous line), and replays the walk
+	// through a shard-local guard.
+	type verdict struct{ detected, corrected bool }
+	trials, err := stats.ShardTrials(cfg.Trials,
+		func() (*core.Guard, error) { return core.NewGuard(guardCfg) },
+		func(g *core.Guard, t int) (verdict, error) {
+			entry := pool[t%len(pool)]
+			rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, "fig9-trace/trial/"+strconv.Itoa(t)))
+			faulty := flipLine(entry.protected, cfg.FlipProb, rng)
+			rd := g.OnRead(faulty, entry.addr, true)
+			switch {
+			case rd.CheckFailed:
+				return verdict{detected: true}, nil
+			case payloadEqual(rd.Line, entry.arch, format):
+				return verdict{corrected: true}, nil
+			}
+			return verdict{}, nil
+		})
+	if err != nil {
+		return TraceCorrectionResult{}, err
+	}
+	res := TraceCorrectionResult{
+		TraceLines:   len(lines),
+		WalkAccesses: len(trace),
+		Erroneous:    len(trials),
+	}
+	for _, v := range trials {
 		switch {
-		case rd.CheckFailed:
+		case v.detected:
 			res.Detected++
-		case payloadEqual(rd.Line, arch, format):
+		case v.corrected:
 			res.Corrected++
 		default:
 			res.Miscorrected++
 		}
 	}
 	return res, nil
+}
+
+// flipLine flips each bit of line independently with probability p,
+// redrawing until at least one bit flips (§VI-F, conditioned on the line
+// being erroneous).
+func flipLine(line pte.Line, p float64, rng *stats.RNG) pte.Line {
+	for {
+		flipped := false
+		out := line
+		for bit := 0; bit < pte.LineBytes*8; bit++ {
+			if rng.Bernoulli(p) {
+				out[bit/64] = pte.Entry(uint64(out[bit/64]) ^ 1<<uint(bit%64))
+				flipped = true
+			}
+		}
+		if flipped {
+			return out
+		}
+	}
 }
 
 func payloadEqual(got, want pte.Line, f pte.Format) bool {

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// DeriveSeed maps (campaign seed, trial/job key) to a derived simulation
+// seed: a pure function, so results never depend on worker count or
+// scheduling order. The key is FNV-1a-hashed, mixed with the campaign seed,
+// and finalised with the SplitMix64 mixer for avalanche. It is the
+// determinism contract both the harness's parallel job pool and the
+// in-process sharded trial loops rest on (internal/harness re-exports it).
+func DeriveSeed(campaignSeed uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := campaignSeed ^ h.Sum64()
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// ShardTrials runs n independent Monte-Carlo trials across GOMAXPROCS
+// goroutine shards and returns the per-trial results indexed by trial
+// number. Each shard owns one worker state W (built by newWorker — a guard,
+// a world, whatever the trial mutates), and each trial must be a pure
+// function of (worker state, trial index): seed its randomness from
+// DeriveSeed(seed, trialKey) rather than a shared stream. Under that
+// contract the result slice is bit-identical whatever GOMAXPROCS is —
+// sharding only changes which goroutine computes each entry, never the
+// entry itself (determinism_test pins this serial-vs-parallel).
+//
+// The trial space is split into contiguous ranges, one per shard, so each
+// worker state sees an in-order subsequence of trials. The first error
+// (from newWorker or a trial) aborts the run.
+func ShardTrials[W, R any](n int, newWorker func() (W, error), trial func(w W, t int) (R, error)) ([]R, error) {
+	return shardTrials(n, runtime.GOMAXPROCS(0), newWorker, trial)
+}
+
+func shardTrials[W, R any](n, shards int, newWorker func() (W, error), trial func(w W, t int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	results := make([]R, n)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	// Contiguous split: shard s owns [s*n/shards, (s+1)*n/shards).
+	for s := 0; s < shards; s++ {
+		start, end := s*n/shards, (s+1)*n/shards
+		if start == end {
+			continue
+		}
+		wg.Add(1)
+		go func(s, start, end int) {
+			defer wg.Done()
+			w, err := newWorker()
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for t := start; t < end; t++ {
+				r, terr := trial(w, t)
+				if terr != nil {
+					errs[s] = terr
+					return
+				}
+				results[t] = r
+			}
+		}(s, start, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
