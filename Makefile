@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench-smoke bench bench-json bench-json-smoke
+.PHONY: ci vet build test race fuzz-smoke mitigate-smoke bench-smoke bench bench-json bench-json-smoke
 
 # ci is the gate every change must pass.
-ci: vet build test race fuzz-smoke bench-smoke bench-json-smoke
+ci: vet build test race fuzz-smoke mitigate-smoke bench-smoke bench-json-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,13 @@ fuzz-smoke:
 	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzLineBytesRoundtrip -fuzztime=5s
 	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzEntryFieldOps -fuzztime=5s
 	$(GO) test ./internal/core -run=^$$ -fuzz=FuzzMACEmbedVerifyStrip -fuzztime=5s
+	$(GO) test ./internal/mitigate -run=^$$ -fuzz=FuzzMisraGries -fuzztime=5s
+
+# A tiny head-to-head matrix: the mitigation registry, attack patterns, and
+# campaign plumbing all exercised end to end in a couple of seconds.
+mitigate-smoke:
+	$(GO) run ./cmd/ptguard-mitigate -mitigations none,trr,oracle \
+		-patterns classic,half-double -trials 1 -acts 4096 -quiet
 
 # One iteration of every benchmark: a build-and-run check that the bench
 # harnesses (including BenchmarkObsDisabledOverhead, the <2% disabled-path

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"ptguard/internal/attack"
 	"ptguard/internal/harness"
 	"ptguard/internal/obs"
 	"ptguard/internal/report"
@@ -43,7 +44,7 @@ func run() error {
 		journal  = flag.String("journal", "", "JSONL checkpoint path; resuming with the same path skips completed jobs")
 		format   = flag.String("format", "table", "output format: table, csv or json")
 		sections = flag.String("sections", "slowdown,multicore,ablation,correction",
-			"comma-separated campaign sections to run")
+			"comma-separated campaign sections to run (also available: mitigate)")
 		timeout = flag.Duration("timeout", 10*time.Minute, "per-job wall-clock timeout (0 = none)")
 		retries = flag.Int("retries", 1, "re-attempts per failed or panicked job")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress reporter")
@@ -65,6 +66,11 @@ func run() error {
 		ablLines = flag.Int("ablation-lines", 400, "ablation: faulty lines per configuration")
 		flipProb = flag.Float64("flip-prob", 1.0/128, "ablation: per-bit flip probability")
 		corLines = flag.Int("correction-lines", 400, "correction: faulty lines per probability")
+
+		// Mitigation head-to-head (opt-in via -sections mitigate).
+		mitigation = flag.String("mitigation", "", "mitigate: comma-separated mitigation plugins from the internal/mitigate registry (empty = all)")
+		mitTrials  = flag.Int("mitigate-trials", 3, "mitigate: trials per matrix cell")
+		mitActs    = flag.Int("mitigate-acts", 0, "mitigate: aggressor activations per trial (0 = 40000)")
 
 		// Observability (internal/obs; slowdown section only).
 		metricsOut = flag.String("metrics-out", "", "write per-run time-series snapshots to this path (JSONL, or CSV when it ends in .csv)")
@@ -104,6 +110,11 @@ func run() error {
 	}
 	ablationSpec := harness.AblationSpec{Lines: *ablLines, FlipProb: *flipProb}
 	correctionSpec := harness.CorrectionSpec{Lines: *corLines}
+	mitigateSpec := harness.MitigateSpec{
+		Mitigations: splitNames(*mitigation),
+		Trials:      *mitTrials,
+		Acts:        *mitActs,
+	}
 
 	opts := harness.Options{
 		Workers:     *workers,
@@ -111,9 +122,10 @@ func run() error {
 		Retries:     *retries,
 		JournalPath: *journal,
 		Fingerprint: fmt.Sprintf(
-			"sweep-v1 seed=%d warmup=%d instr=%d lats=%s workloads=%s mc=%d/%d/%d/%d/%s abl=%d/%g cor=%d obs=%v",
+			"sweep-v1 seed=%d warmup=%d instr=%d lats=%s workloads=%s mc=%d/%d/%d/%d/%s abl=%d/%g cor=%d mit=%s/%d/%d obs=%v",
 			*seed, *warmup, *instr, *macLats, *workloads,
 			*sameN, *mixN, *mcWarmup, *mcInstr, *mcModel, *ablLines, *flipProb, *corLines,
+			*mitigation, *mitTrials, *mitActs,
 			slowdownSpec.Obs != nil),
 	}
 	if !*quiet {
@@ -173,8 +185,14 @@ func run() error {
 					tbl, err := harness.CorrectionTable(rs, correctionSpec)
 					return []*report.Table{tbl}, err
 				})
+		case "mitigate":
+			sectionTables, serr = runSection(ctx, opts, *seed,
+				mitigateSpec.Jobs,
+				func(rs []attack.MitigationTrialResult) ([]*report.Table, error) {
+					return harness.MitigateTables(rs, mitigateSpec)
+				})
 		default:
-			return fmt.Errorf("unknown section %q (want slowdown, multicore, ablation or correction)", section)
+			return fmt.Errorf("unknown section %q (want slowdown, multicore, ablation, correction or mitigate)", section)
 		}
 		if serr != nil {
 			return fmt.Errorf("section %s: %w", section, serr)
@@ -273,6 +291,16 @@ func runSection[R any](
 		return nil, err
 	}
 	return aggregate(results)
+}
+
+func splitNames(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -1,6 +1,6 @@
 // End-to-end CLI test: builds every cmd/ binary once and runs it with
 // minimal parameters, verifying exit status and that the headline table
-// appears. Skipped under -short (it compiles eleven binaries).
+// appears. Skipped under -short (it compiles every cmd/ binary).
 package ptguard
 
 import (
@@ -15,7 +15,7 @@ import (
 
 func TestCommandLineTools(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds and runs all eleven binaries; run without -short")
+		t.Skip("builds and runs every cmd/ binary; run without -short")
 	}
 	binDir := t.TempDir()
 	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
@@ -95,6 +95,28 @@ func TestCommandLineTools(t *testing.T) {
 			args: []string{"-sections", "correction", "-correction-lines", "30",
 				"-format", "json", "-quiet"},
 			want: []string{`"headers"`, "Fig. 9", "corrected %"},
+		},
+		{
+			bin: "ptguard-mitigate",
+			args: []string{"-mitigations", "none,trr", "-patterns", "classic,many-sided",
+				"-trials", "1", "-acts", "4096", "-workers", "2", "-quiet"},
+			want: []string{"Mitigation head-to-head", "DEFEATED", "defended", "coverage %"},
+		},
+		{
+			bin:  "ptguard-mitigate",
+			args: []string{"-list"},
+			want: []string{"graphene", "oracle", "para", "half-double", "many-sided"},
+		},
+		{
+			bin:  "ptguard-security",
+			args: []string{"-mitigation", "oracle"},
+			want: []string{"Residual exposure", "oracle", "no flips"},
+		},
+		{
+			bin: "ptguard-sweep",
+			args: []string{"-sections", "mitigate", "-mitigation", "oracle",
+				"-mitigate-trials", "1", "-mitigate-acts", "4096", "-quiet"},
+			want: []string{"Mitigation head-to-head", "oracle", "no flips"},
 		},
 	}
 	for _, tt := range tests {

@@ -41,9 +41,30 @@ type World struct {
 	guard *core.Guard
 }
 
+// WorldConfig parameterises NewWorldWith beyond the NewWorld defaults.
+type WorldConfig struct {
+	// Protected selects PT-Guard at the memory controller.
+	Protected bool
+	// Correction enables the §VI correction engine (implies Protected).
+	Correction bool
+	// Seed feeds the key and fault RNGs.
+	Seed uint64
+	// Hammer overrides the disturbance model; a zero Seed inherits Seed,
+	// zero Threshold/FlipProb keep the dram defaults. Mitigation
+	// campaigns use this to scale the flip threshold down to tractable
+	// activation counts.
+	Hammer dram.HammerConfig
+}
+
 // NewWorld builds the sandbox. protected selects PT-Guard at the
 // controller; correction enables the §VI engine.
 func NewWorld(protected, correction bool, seed uint64) (*World, error) {
+	return NewWorldWith(WorldConfig{Protected: protected, Correction: correction, Seed: seed})
+}
+
+// NewWorldWith builds the sandbox from an explicit configuration.
+func NewWorldWith(cfg WorldConfig) (*World, error) {
+	protected, correction, seed := cfg.Protected, cfg.Correction, cfg.Seed
 	dev, err := dram.NewDevice(dram.Geometry{}, dram.Timing{})
 	if err != nil {
 		return nil, err
@@ -100,7 +121,11 @@ func NewWorld(protected, correction bool, seed uint64) (*World, error) {
 	if flushErr != nil {
 		return nil, flushErr
 	}
-	hammer, err := dram.NewHammerer(dev, dram.HammerConfig{Seed: seed})
+	hcfg := cfg.Hammer
+	if hcfg.Seed == 0 {
+		hcfg.Seed = seed
+	}
+	hammer, err := dram.NewHammerer(dev, hcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,227 @@
+package dram
+
+import (
+	"testing"
+
+	"ptguard/internal/mitigate"
+	"ptguard/internal/pte"
+)
+
+// mitigatedWorld builds a device with stored data ONLY in the victim row,
+// so every row HammerPattern reports flipped is the victim row — the tests
+// below ask exactly one question per tracker: did the victim's data flip?
+func mitigatedWorld(t *testing.T, victimRow int) (*Device, *Hammerer, uint64) {
+	t.Helper()
+	d := newTestDevice(t)
+	h, err := NewHammerer(d, HammerConfig{Threshold: 64, FlipProb: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data pte.Line
+	data[0] = pte.Entry(0xBADF00D)
+	victimAddr := d.AddrOfRow(3, victimRow, 0)
+	d.WriteLine(victimAddr, data)
+	return d, h, victimAddr
+}
+
+func trackerConfig(d *Device, sampler int) mitigate.Config {
+	geo := d.Geometry()
+	return mitigate.Config{
+		Banks:       geo.Channels * geo.BanksPerChannel,
+		RowsPerBank: geo.RowsPerBank,
+		Threshold:   sampler,
+		Seed:        7,
+	}
+}
+
+// runPattern drives the pattern at the victim through the given tracker
+// and reports whether the victim row's data flipped, plus the stats.
+func runPattern(t *testing.T, m mitigate.Mitigator, budget *mitigate.Budget,
+	pattern Pattern, acts int) (bool, MitigationStats) {
+	t.Helper()
+	const victimRow = 1000
+	d, h, victimAddr := mitigatedWorld(t, victimRow)
+	if reg, ok := m.(mitigate.RowRegistrar); ok {
+		// The OS registers the protected row and its blast radius, the
+		// way SoftTRR registers every page-table row.
+		loc := d.Locate(victimAddr)
+		bankIdx := loc.Channel*d.Geometry().BanksPerChannel + loc.Bank
+		for _, r := range []int{victimRow - 1, victimRow, victimRow + 1} {
+			reg.RegisterRow(bankIdx, r)
+		}
+	}
+	mh, err := NewMitigatedHammerer(d, h, MitigationConfig{
+		Mitigator:  m,
+		Budget:     budget,
+		WindowActs: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped, err := mh.HammerPattern(pattern, victimAddr, acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range flipped {
+		if r != victimRow {
+			t.Fatalf("row %d flipped but only %d holds data", r, victimRow)
+		}
+	}
+	return len(flipped) > 0, mh.Stats()
+}
+
+func newTracker(t *testing.T, d *Device, name string, sampler int) mitigate.Mitigator {
+	t.Helper()
+	m, err := mitigate.New(name, trackerConfig(d, sampler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestHalfDoubleDefeatsDistanceOneTrackers is the §II-B regression: the
+// half-double pattern's damage is carried inward by the mitigation's own
+// refreshes, so every distance-1 tracker loses to it — while the oracle,
+// which observes its own mitigative refreshes and cascades, does not, and
+// with no mitigation at all the pattern is harmless.
+func TestHalfDoubleDefeatsDistanceOneTrackers(t *testing.T) {
+	const acts = 16000
+	d := newTestDevice(t)
+	pattern := HalfDoublePattern()
+
+	for _, name := range []string{"trr", "softtrr", "graphene", "para"} {
+		flipped, stats := runPattern(t, newTracker(t, d, name, 32), nil, pattern, acts)
+		if !flipped {
+			t.Errorf("%s survived half-double: distance-1 refreshes should carry the damage inward (stats %+v)",
+				name, stats)
+		}
+		if stats.RefreshesIssued == 0 {
+			t.Errorf("%s never refreshed under half-double", name)
+		}
+	}
+
+	// No mitigation, no inward push: the victim at distance 2 is safe.
+	if flipped, _ := runPattern(t, &mitigate.None{}, nil, pattern, acts); flipped {
+		t.Error("half-double flipped the victim without any mitigation: damage must be mitigation-induced")
+	}
+
+	// The oracle counts its own refreshes as the activations they are,
+	// so the carried disturbance is mitigated before it lands.
+	if flipped, stats := runPattern(t, newTracker(t, d, "oracle", 32), nil, pattern, acts); flipped {
+		t.Errorf("oracle lost to half-double despite refresh observation (stats %+v)", stats)
+	}
+}
+
+// TestManySidedDefeatsSamplerNotGraphene is the TRRespass regression: the
+// decoys-first many-sided pattern exhausts the TRR sampler's slots so the
+// inner aggressors hammer unsampled, while Graphene's Misra-Gries table
+// has no capacity evasion and stops the same stream.
+func TestManySidedDefeatsSamplerNotGraphene(t *testing.T) {
+	const acts = 8192
+	d := newTestDevice(t)
+	pattern, err := ManySidedPattern(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := trackerConfig(d, 32)
+	cfg.TableSize = 4 // 8 aggressor rows vs 4 sampler slots
+	trr, err := mitigate.NewTRRSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped, stats := runPattern(t, trr, nil, pattern, acts)
+	if !flipped {
+		t.Errorf("4-entry sampler stopped an 8-row many-sided pattern (stats %+v)", stats)
+	}
+	if stats.Tracker.SamplerMisses == 0 {
+		t.Error("many-sided pattern never overflowed the sampler")
+	}
+
+	// Graphene's detection threshold needs headroom below the flip
+	// threshold: the pattern's ±2 aggressors half-double one extra unit
+	// of disturbance inward per mitigation, so threshold/2 mitigates one
+	// activation too late. Real deployments set tREFW/4-ish margins for
+	// exactly this blast-radius reason.
+	if flipped, stats := runPattern(t, newTracker(t, d, "graphene", 20), nil, pattern, acts); flipped {
+		t.Errorf("graphene lost to many-sided despite the Misra-Gries guarantee (stats %+v)", stats)
+	}
+}
+
+// TestClassicStoppedBySampler pins the control cell of the matrix: the
+// classic double-sided pattern is exactly what distance-1 TRR was built
+// for.
+func TestClassicStoppedBySampler(t *testing.T) {
+	d := newTestDevice(t)
+	flipped, stats := runPattern(t, newTracker(t, d, "trr", 32), nil, ClassicPattern(), 8192)
+	if flipped {
+		t.Errorf("TRR lost to classic double-sided (stats %+v)", stats)
+	}
+	if stats.RefreshesIssued == 0 {
+		t.Error("TRR never refreshed under classic hammering")
+	}
+}
+
+// TestBudgetStarvationDefeatsPerfectTracker: a tracker with a perfect view
+// still loses when the refresh budget drops its mitigations — the
+// starvation lever of the refresh-budget model. Classic double-sided keeps
+// the schedule deterministic: each mitigation wants two refreshes but the
+// one-slot budget only admits the queue head, so the victim's own refresh
+// is the one that drops, every time.
+func TestBudgetStarvationDefeatsPerfectTracker(t *testing.T) {
+	const acts = 8192
+	d := newTestDevice(t)
+	budget, err := mitigate.NewBudget(1, 256) // 1 refresh per 256 activations
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped, stats := runPattern(t, newTracker(t, d, "graphene", 32), budget, ClassicPattern(), acts)
+	if stats.RefreshesDropped == 0 {
+		t.Fatalf("budget dropped nothing under classic hammering (stats %+v)", stats)
+	}
+	if stats.Budget.StarvedWindows == 0 {
+		t.Errorf("no starved windows despite dropped refreshes (stats %+v)", stats)
+	}
+	if !flipped {
+		t.Error("victim survived although the tracker's refreshes were starved")
+	}
+
+	// The same tracker with no budget wins, so starvation is the only
+	// difference between the two runs.
+	if flipped, _ := runPattern(t, newTracker(t, d, "graphene", 32), nil, ClassicPattern(), acts); flipped {
+		t.Error("unbudgeted graphene lost: starvation test would be meaningless")
+	}
+}
+
+// TestHammerPatternValidation covers the pattern plumbing.
+func TestHammerPatternValidation(t *testing.T) {
+	if _, err := ManySidedPattern(0); err == nil {
+		t.Error("ManySidedPattern(0) accepted")
+	}
+	if _, err := PatternByName("bogus"); err == nil {
+		t.Error("unknown pattern name accepted")
+	}
+	for _, name := range PatternNames() {
+		p, err := PatternByName(name)
+		if err != nil {
+			t.Fatalf("PatternByName(%q): %v", name, err)
+		}
+		if p.Name != name || len(p.Offsets) == 0 {
+			t.Errorf("pattern %q malformed: %+v", name, p)
+		}
+	}
+	// A pattern aimed at the die edge with no in-range aggressors errors.
+	d := newTestDevice(t)
+	h, err := NewHammerer(d, HammerConfig{Threshold: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := NewMitigatedHammerer(d, h, MitigationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := Pattern{Name: "off-die", Offsets: []int{-2, -1}}
+	if _, err := mh.HammerPattern(edge, d.AddrOfRow(0, 0, 0), 10); err == nil {
+		t.Error("pattern with no in-range aggressors accepted")
+	}
+}

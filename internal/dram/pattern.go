@@ -1,0 +1,84 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern is a Rowhammer aggressor layout aimed at a victim row: the
+// offsets are aggressor rows relative to the victim, activated
+// round-robin in slice order by MitigatedHammerer.HammerPattern. Order
+// matters against capacity-limited trackers — TRR-aware many-sided
+// patterns open their decoy rows first so the sampler table is already
+// full when the rows that matter start hammering (TRRespass, §II-B).
+type Pattern struct {
+	// Name identifies the pattern in reports and campaign job keys.
+	Name string
+	// Offsets are aggressor row offsets relative to the victim row.
+	Offsets []int
+}
+
+// Canonical pattern names.
+const (
+	PatternClassic    = "classic"
+	PatternHalfDouble = "half-double"
+	PatternManySided  = "many-sided"
+)
+
+// ClassicPattern is double-sided Rowhammer: the two rows sandwiching the
+// victim, the classic highest-yield pattern. Distance-1 trackers stop it.
+func ClassicPattern() Pattern {
+	return Pattern{Name: PatternClassic, Offsets: []int{-1, +1}}
+}
+
+// HalfDoublePattern hammers the rows at distance 2 from the victim: the
+// mitigation's own refreshes of the distance-1 rows act as additional
+// aggressors and carry the disturbance the final row inward (Kogler et
+// al.; paper §II-B). Without a mitigation issuing refreshes, the pattern
+// is harmless to the victim — its damage is entirely mitigation-induced.
+func HalfDoublePattern() Pattern {
+	return Pattern{Name: PatternHalfDouble, Offsets: []int{-2, +2}}
+}
+
+// ManySidedPattern builds a TRRespass-style n-sided pattern (2n aggressor
+// rows): decoys at the largest distances first, then inward, with the
+// victim's direct neighbours last — so a capacity-limited sampler has
+// spent its slots on decoys before the damaging rows ever activate. n
+// must be at least 1; n=1 degenerates to the classic pattern layout.
+func ManySidedPattern(n int) (Pattern, error) {
+	if n < 1 {
+		return Pattern{}, fmt.Errorf("dram: many-sided pattern needs n >= 1, got %d", n)
+	}
+	offsets := make([]int, 0, 2*n)
+	for d := n; d >= 1; d-- {
+		offsets = append(offsets, -d, +d)
+	}
+	return Pattern{Name: PatternManySided, Offsets: offsets}, nil
+}
+
+// DefaultManySided is the sides count ManySidedPattern gets from
+// PatternByName: 8 aggressor rows, enough to overflow the default
+// 4-entry TRR sampler.
+const DefaultManySided = 4
+
+// PatternByName resolves a canonical pattern name. The many-sided
+// pattern uses DefaultManySided sides.
+func PatternByName(name string) (Pattern, error) {
+	switch name {
+	case PatternClassic:
+		return ClassicPattern(), nil
+	case PatternHalfDouble:
+		return HalfDoublePattern(), nil
+	case PatternManySided:
+		return ManySidedPattern(DefaultManySided)
+	default:
+		return Pattern{}, fmt.Errorf("dram: unknown attack pattern %q (want %v)", name, PatternNames())
+	}
+}
+
+// PatternNames returns the canonical pattern names, sorted.
+func PatternNames() []string {
+	names := []string{PatternClassic, PatternHalfDouble, PatternManySided}
+	sort.Strings(names)
+	return names
+}

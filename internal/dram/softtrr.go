@@ -1,6 +1,10 @@
 package dram
 
-import "errors"
+import (
+	"errors"
+
+	"ptguard/internal/mitigate"
+)
 
 // SoftTRR models the software mitigation of Zhang et al. (paper §II-E item
 // 3): the kernel uses performance counters to track activations of rows
@@ -10,17 +14,15 @@ import "errors"
 // distance-1 neighbours, so Half-Double's distance-2 disturbance flips PTE
 // rows anyway, and its sampler threshold must guess the true Rowhammer
 // threshold.
+//
+// SoftTRR is now a thin wrapper: the registered-row tracking lives in the
+// mitigate.SoftTRR plugin and the charge physics in MitigatedHammerer
+// (equivalence with the previous hand-rolled loop is pinned in
+// equivalence_test.go).
 type SoftTRR struct {
-	dev *Device
-	hmr *Hammerer
-	// samplerThreshold is the activation count at which the kernel
-	// issues a mitigative read of a tracked PTE row.
-	samplerThreshold int
-	// pteRows marks the rows registered as holding page tables: a dense
-	// bitset over the device's rowIndex space (one bit per row).
-	pteRows []uint64
-
-	mitigations uint64
+	dev     *Device
+	tracker *mitigate.SoftTRR
+	mh      *MitigatedHammerer
 }
 
 // NewSoftTRR builds the software mitigation over a device/hammerer pair.
@@ -28,35 +30,33 @@ func NewSoftTRR(dev *Device, hmr *Hammerer, samplerThreshold int) (*SoftTRR, err
 	if dev == nil || hmr == nil {
 		return nil, errors.New("dram: SoftTRR needs a device and hammerer")
 	}
-	if samplerThreshold <= 0 {
+	if err := mitigate.ValidateThreshold(samplerThreshold); err != nil {
 		return nil, errors.New("dram: sampler threshold must be positive")
 	}
-	nRows := dev.geo.Channels * dev.geo.BanksPerChannel * dev.geo.RowsPerBank
-	return &SoftTRR{
-		dev:              dev,
-		hmr:              hmr,
-		samplerThreshold: samplerThreshold,
-		pteRows:          make([]uint64, (nRows+63)/64),
-	}, nil
+	tracker, err := mitigate.NewSoftTRR(mitigate.Config{
+		Banks:       dev.geo.Channels * dev.geo.BanksPerChannel,
+		RowsPerBank: dev.geo.RowsPerBank,
+		Threshold:   samplerThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mh, err := NewMitigatedHammerer(dev, hmr, MitigationConfig{Mitigator: tracker})
+	if err != nil {
+		return nil, err
+	}
+	return &SoftTRR{dev: dev, tracker: tracker, mh: mh}, nil
 }
 
 // RegisterPTERow marks the row containing addr as holding page tables; the
 // kernel knows this from its own allocations.
 func (s *SoftTRR) RegisterPTERow(addr uint64) {
 	loc := s.dev.Locate(addr)
-	bankIdx := loc.Channel*s.dev.geo.BanksPerChannel + loc.Bank
-	idx := s.dev.rowIndex(bankIdx, loc.Row)
-	s.pteRows[idx/64] |= 1 << (idx % 64)
-}
-
-// isPTERow reports whether the bitset marks (bankIdx, row).
-func (s *SoftTRR) isPTERow(bankIdx, row int) bool {
-	idx := s.dev.rowIndex(bankIdx, row)
-	return s.pteRows[idx/64]>>(idx%64)&1 == 1
+	s.tracker.RegisterRow(loc.Channel*s.dev.geo.BanksPerChannel+loc.Bank, loc.Row)
 }
 
 // Mitigations returns the number of software refreshes issued.
-func (s *SoftTRR) Mitigations() uint64 { return s.mitigations }
+func (s *SoftTRR) Mitigations() uint64 { return s.mh.Refreshes() }
 
 // HammerWithSoftTRR issues count activations to the aggressor row under the
 // software mitigation. Physical disturbance on each neighbour accumulates
@@ -68,53 +68,5 @@ func (s *SoftTRR) Mitigations() uint64 { return s.mitigations }
 // accumulates disturbance and flips (Half-Double; §II-E: "the design has
 // the same vulnerabilities as TRR"). Returns the rows that received flips.
 func (s *SoftTRR) HammerWithSoftTRR(aggressorAddr uint64, count int) []int {
-	loc := s.dev.Locate(aggressorAddr)
-	bankIdx := loc.Channel*s.dev.geo.BanksPerChannel + loc.Bank
-
-	// disturb tracks physical charge loss per row since its last refresh.
-	disturb := make(map[int]int)
-	var flipped []int
-	trip := func(row int) {
-		if row < 0 || row >= s.dev.geo.RowsPerBank {
-			return
-		}
-		if disturb[row] < s.hmr.cfg.Threshold {
-			return
-		}
-		if s.hmr.disturbRow(loc.Channel, loc.Bank, row) > 0 {
-			flipped = append(flipped, row)
-		}
-		disturb[row] = 0 // the cells have flipped; model one burst per window
-	}
-
-	swCounter := 0
-	for issued := 0; issued < count; issued++ {
-		// Physical effect of the aggressor activation.
-		disturb[loc.Row-1]++
-		disturb[loc.Row+1]++
-		swCounter++
-		if swCounter >= s.samplerThreshold {
-			swCounter = 0
-			for _, d := range []int{-1, +1} {
-				victim := loc.Row + d
-				if victim < 0 || victim >= s.dev.geo.RowsPerBank {
-					continue
-				}
-				if !s.isPTERow(bankIdx, victim) {
-					continue // the kernel never looks at it
-				}
-				// Mitigative read: charge restored, but the
-				// refresh activates the victim row, disturbing
-				// the row one step further out.
-				s.mitigations++
-				disturb[victim] = 0
-				disturb[victim+d]++
-			}
-		}
-		trip(loc.Row - 2)
-		trip(loc.Row - 1)
-		trip(loc.Row + 1)
-		trip(loc.Row + 2)
-	}
-	return flipped
+	return s.mh.Hammer(aggressorAddr, count)
 }

@@ -1,6 +1,10 @@
 package dram
 
-import "errors"
+import (
+	"errors"
+
+	"ptguard/internal/mitigate"
+)
 
 // TRR models the in-DRAM Target Row Refresh mitigation the paper's threat
 // model assumes is deployed and defeated (§II-B): a sampler watches row
@@ -8,13 +12,16 @@ import "errors"
 // the sampler threshold. The refresh restores victim charge — but the
 // refresh operation itself activates the refreshed row, which is exactly
 // the lever the Half-Double attack uses to flip bits two rows away.
+//
+// TRR is now a thin wrapper: the tracking decision lives in the
+// mitigate.TRRSampler plugin and the charge physics in MitigatedHammerer
+// (equivalence with the previous hand-rolled loop is pinned in
+// equivalence_test.go). The wrapper tracks with unlimited sampler
+// capacity, the legacy behaviour; campaigns wanting the realistic
+// capacity-limited sampler build the "trr" plugin from the registry
+// directly.
 type TRR struct {
-	dev *Device
-	hmr *Hammerer
-	// samplerThreshold is the activation count at which TRR mitigates.
-	samplerThreshold int
-	// refreshes counts mitigative refreshes issued.
-	refreshes uint64
+	mh *MitigatedHammerer
 }
 
 // NewTRR attaches a TRR engine to a device/hammerer pair. The sampler
@@ -24,57 +31,35 @@ func NewTRR(dev *Device, hmr *Hammerer, samplerThreshold int) (*TRR, error) {
 	if dev == nil || hmr == nil {
 		return nil, errors.New("dram: TRR needs a device and hammerer")
 	}
-	if samplerThreshold <= 0 {
+	if err := mitigate.ValidateThreshold(samplerThreshold); err != nil {
 		return nil, errors.New("dram: sampler threshold must be positive")
 	}
-	return &TRR{dev: dev, hmr: hmr, samplerThreshold: samplerThreshold}, nil
+	tracker, err := mitigate.NewTRRSampler(mitigate.Config{
+		Banks:       dev.geo.Channels * dev.geo.BanksPerChannel,
+		RowsPerBank: dev.geo.RowsPerBank,
+		Threshold:   samplerThreshold,
+		TableSize:   dev.geo.RowsPerBank, // legacy TRR never missed a row
+	})
+	if err != nil {
+		return nil, err
+	}
+	mh, err := NewMitigatedHammerer(dev, hmr, MitigationConfig{Mitigator: tracker})
+	if err != nil {
+		return nil, err
+	}
+	return &TRR{mh: mh}, nil
 }
 
 // Refreshes returns the number of mitigative refreshes issued.
-func (t *TRR) Refreshes() uint64 { return t.refreshes }
+func (t *TRR) Refreshes() uint64 { return t.mh.Refreshes() }
 
 // HammerWithTRR issues count activations to the aggressor row while TRR
 // watches. Classic (distance-1) victims are protected: whenever the
-// aggressor crosses the sampler threshold, both neighbours are refreshed
-// (activation counters cleared). But each mitigative refresh activates the
-// refreshed rows, so *their* neighbours — distance 2 from the aggressor —
-// silently accumulate activations and eventually flip: Half-Double
-// (Kogler et al., §II-B). Returns the rows that received flips.
+// aggressor crosses the sampler threshold, both neighbours are refreshed.
+// But each mitigative refresh activates the refreshed rows, so *their*
+// neighbours — distance 2 from the aggressor — silently accumulate
+// disturbance and eventually flip: Half-Double (Kogler et al., §II-B).
+// Returns the rows that received flips.
 func (t *TRR) HammerWithTRR(aggressorAddr uint64, count int) []int {
-	loc := t.dev.Locate(aggressorAddr)
-	bankIdx := loc.Channel*t.dev.geo.BanksPerChannel + loc.Bank
-	agg := t.dev.rowIndex(bankIdx, loc.Row)
-
-	var flipped []int
-	for issued := 0; issued < count; issued++ {
-		if t.dev.addActivations(bankIdx, loc.Row, 1) < t.samplerThreshold {
-			continue
-		}
-		// Mitigate: refresh the distance-1 neighbours. Charge is
-		// restored (their own disturbance resets) and the aggressor
-		// counter clears.
-		t.dev.activations[agg] = 0
-		for _, d := range []int{-1, +1} {
-			victim := loc.Row + d
-			if victim < 0 || victim >= t.dev.geo.RowsPerBank {
-				continue
-			}
-			t.refreshes++
-			// The refresh is itself a row activation of the
-			// victim row: its neighbours at distance 2 from the
-			// original aggressor take disturbance.
-			v := t.dev.rowIndex(bankIdx, victim)
-			if t.dev.addActivations(bankIdx, victim, 1) >= t.hmr.cfg.Threshold {
-				far := victim + d
-				if far < 0 || far >= t.dev.geo.RowsPerBank {
-					continue
-				}
-				if t.hmr.disturbRow(loc.Channel, loc.Bank, far) > 0 {
-					flipped = append(flipped, far)
-				}
-				t.dev.activations[v] = 0
-			}
-		}
-	}
-	return flipped
+	return t.mh.Hammer(aggressorAddr, count)
 }

@@ -1,0 +1,103 @@
+package mitigate
+
+import "errors"
+
+// Budget models the refresh bandwidth a memory controller can actually
+// spend on mitigation: real devices squeeze victim-row refreshes into
+// the slack around regular tREFI refreshes, so only a handful fit per
+// interval. Every mitigative refresh is charged against the current
+// interval's allowance; when the allowance is exhausted the refresh is
+// dropped — the tracker asked for protection the controller could not
+// deliver (starvation), which is how aggressive many-sided patterns
+// overwhelm even a perfect tracker.
+//
+// Time is measured in activations: an interval elapses every WindowActs
+// activations and the allowance resets to PerWindow (unused slots do not
+// accumulate — refresh slack is use-it-or-lose-it).
+//
+// All methods are nil-safe: a nil *Budget is the unlimited-bandwidth
+// default and always admits the refresh.
+type Budget struct {
+	perWindow  int
+	windowActs int
+
+	available int
+	acts      int
+
+	issued, dropped uint64
+	windows         uint64
+	starvedWindows  uint64
+	droppedThisWin  bool
+}
+
+// NewBudget builds a budget granting perWindow mitigative refreshes per
+// windowActs activations.
+func NewBudget(perWindow, windowActs int) (*Budget, error) {
+	if perWindow <= 0 || windowActs <= 0 {
+		return nil, errors.New("mitigate: budget needs positive per-window allowance and window length")
+	}
+	return &Budget{perWindow: perWindow, windowActs: windowActs, available: perWindow}, nil
+}
+
+// Tick advances time by one activation, rolling the interval over when
+// WindowActs have elapsed.
+func (b *Budget) Tick() {
+	if b == nil {
+		return
+	}
+	b.acts++
+	if b.acts < b.windowActs {
+		return
+	}
+	b.acts = 0
+	b.available = b.perWindow
+	b.windows++
+	if b.droppedThisWin {
+		b.starvedWindows++
+		b.droppedThisWin = false
+	}
+}
+
+// TryConsume charges one mitigative refresh against the current interval,
+// reporting whether the controller had a slot for it. A dropped refresh
+// marks the interval starved.
+func (b *Budget) TryConsume() bool {
+	if b == nil {
+		return true
+	}
+	if b.available <= 0 {
+		b.dropped++
+		b.droppedThisWin = true
+		return false
+	}
+	b.available--
+	b.issued++
+	return true
+}
+
+// BudgetStats snapshots the budget counters.
+type BudgetStats struct {
+	// Issued is the number of refreshes that fit in the budget.
+	Issued uint64
+	// Dropped is the number of refreshes that found no slot.
+	Dropped uint64
+	// Windows is the number of completed tREFI intervals.
+	Windows uint64
+	// StarvedWindows is the number of completed intervals in which at
+	// least one refresh was dropped.
+	StarvedWindows uint64
+}
+
+// Stats returns the budget counters (zero for a nil budget). The interval
+// in flight is included in the starvation count so short runs that never
+// complete a window still report their drops.
+func (b *Budget) Stats() BudgetStats {
+	if b == nil {
+		return BudgetStats{}
+	}
+	s := BudgetStats{Issued: b.issued, Dropped: b.dropped, Windows: b.windows, StarvedWindows: b.starvedWindows}
+	if b.droppedThisWin {
+		s.StarvedWindows++
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+package mitigate
+
+import "testing"
+
+// FuzzMisraGries drives one Graphene bank table with an arbitrary
+// activation stream (plus interleaved per-row resets and window resets
+// decoded from the same bytes) and checks the Misra-Gries invariants
+// after every step:
+//
+//   - the table never exceeds its capacity;
+//   - every tracked count stays non-negative and at least the spillover
+//     counter bounds the error: a tracked row's estimate never falls
+//     below 0 or sits below a just-swapped-in spillover value;
+//   - the spillover counter never decreases except via the swap (where
+//     it inherits the evicted minimum, which the swap guarantees is
+//     smaller), and never goes negative;
+//   - Observe for a tracked row increments exactly that row's count.
+func FuzzMisraGries(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0, 0xFF, 0xFF, 0x10, 0x20, 0x30, 0x40}, uint8(2))
+	f.Add([]byte{9}, uint8(1))
+	f.Fuzz(func(t *testing.T, stream []byte, capByte uint8) {
+		capacity := int(capByte%8) + 1
+		tb := newMGTable(capacity)
+
+		for i, b := range stream {
+			row := int(b % 64)
+			switch {
+			case b >= 0xF8: // rare: full window reset
+				tb = newMGTable(capacity)
+
+				continue
+			case b >= 0xF0: // rare: mitigation reset of a tracked row
+				tb.Reset(row)
+			default:
+				before, tracked := tb.counts[row]
+				n, evicted := tb.Observe(row)
+				if tracked && n != before+1 {
+					t.Fatalf("step %d: tracked row %d went %d -> %d, want +1", i, row, before, n)
+				}
+				if evicted && n != tb.counts[row] {
+					t.Fatalf("step %d: eviction returned %d but table holds %d", i, n, tb.counts[row])
+				}
+			}
+			if len(tb.counts) > capacity {
+				t.Fatalf("step %d: table size %d exceeds capacity %d", i, len(tb.counts), capacity)
+			}
+			if tb.spillover < 0 {
+				t.Fatalf("step %d: negative spillover %d", i, tb.spillover)
+			}
+			// Spillover may only shrink via the swap, which sets it to
+			// the evicted minimum — and that minimum was < the old
+			// spillover, so it can drop by at most (spillover - min).
+			// It must never exceed every tracked count when the table
+			// is full (otherwise a swap was missed).
+			if len(tb.counts) == capacity {
+				_, minCount := tb.min()
+				if tb.spillover > minCount {
+					t.Fatalf("step %d: spillover %d exceeds min tracked count %d (missed swap)",
+						i, tb.spillover, minCount)
+				}
+			}
+			for row, n := range tb.counts {
+				if n < 0 {
+					t.Fatalf("step %d: row %d has negative count %d", i, row, n)
+				}
+			}
+
+		}
+	})
+}

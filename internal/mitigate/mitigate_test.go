@@ -1,0 +1,313 @@
+package mitigate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Banks: 16, RowsPerBank: 1 << 15, Threshold: 32}
+}
+
+func TestRegistryNamesAndConstruction(t *testing.T) {
+	want := []string{"graphene", "none", "oracle", "para", "softtrr", "trr"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		m, err := New(name, testConfig())
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := New("bogus", testConfig()); err == nil {
+		t.Error("unknown mitigation accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, name := range []string{"trr", "softtrr", "graphene", "oracle"} {
+		if _, err := New(name, Config{Banks: 16, RowsPerBank: 64, Threshold: 0}); err == nil {
+			t.Errorf("%s accepted zero threshold", name)
+		}
+		if _, err := New(name, Config{Threshold: 10}); err == nil {
+			t.Errorf("%s accepted zero geometry", name)
+		}
+	}
+	if _, err := New("para", Config{Banks: 1, RowsPerBank: 64, Prob: 1.5}); err == nil {
+		t.Error("para accepted probability > 1")
+	}
+}
+
+func TestNeighboursClampsToBank(t *testing.T) {
+	cases := []struct {
+		row  int
+		want []int
+	}{
+		{0, []int{1}},
+		{1, []int{0, 2}},
+		{63, []int{62}},
+		{10, []int{9, 11}},
+	}
+	for _, tc := range cases {
+		if got := Neighbours(nil, tc.row, 64); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Neighbours(%d) = %v, want %v", tc.row, got, tc.want)
+		}
+	}
+}
+
+// drive feeds a run of activations of one row and returns every refresh
+// the tracker asked for, flattened.
+func drive(m Mitigator, bank, row, acts int) []int {
+	var out []int
+	for i := 0; i < acts; i++ {
+		out = append(out, m.OnActivate(bank, row)...)
+	}
+	return out
+}
+
+func TestTRRSamplerThresholdAndCapacity(t *testing.T) {
+	cfg := Config{Banks: 2, RowsPerBank: 1024, Threshold: 10, TableSize: 2}
+	m, err := NewTRRSampler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Captured rows mitigate every Threshold activations.
+	if got := drive(m, 0, 100, 9); got != nil {
+		t.Fatalf("refresh before threshold: %v", got)
+	}
+	if got := m.OnActivate(0, 100); !reflect.DeepEqual(got, []int{99, 101}) {
+		t.Fatalf("10th activation refreshed %v, want [99 101]", got)
+	}
+	// Fill the second slot, then a third row must slip past unsampled.
+	drive(m, 0, 200, 1)
+	if got := drive(m, 0, 300, 50); got != nil {
+		t.Fatalf("untracked row was mitigated: %v", got)
+	}
+	if s := m.Stats(); s.SamplerMisses != 50 {
+		t.Errorf("SamplerMisses = %d, want 50", s.SamplerMisses)
+	}
+	// Other banks have their own tables.
+	if got := drive(m, 1, 300, 10); !reflect.DeepEqual(got, []int{299, 301}) {
+		t.Errorf("fresh bank did not track: %v", got)
+	}
+	// Window reset frees every slot.
+	m.OnRefreshWindow()
+	if got := drive(m, 0, 300, 10); !reflect.DeepEqual(got, []int{299, 301}) {
+		t.Errorf("row still untracked after window reset: %v", got)
+	}
+}
+
+func TestGrapheneSpilloverEvictionOrder(t *testing.T) {
+	// Table of 2: rows 10 and 20 claim entries; spillover traffic from
+	// rows 30..32 must first displace the *smaller* entry (row 20), and
+	// ties must break toward the smaller row number.
+	g, err := NewGraphene(Config{Banks: 1, RowsPerBank: 1024, Threshold: 100, TableSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(g, 0, 10, 5) // table: 10->5
+	drive(g, 0, 20, 2) // table: 10->5, 20->2
+	// Two spillover activations: spillover reaches 2 == min entry, no
+	// eviction yet.
+	drive(g, 0, 30, 1)
+	drive(g, 0, 31, 1)
+	if s := g.Stats(); s.Evictions != 0 {
+		t.Fatalf("premature eviction: %+v", s)
+	}
+	// Third spillover activation pushes spillover to 3 > 2: row 20 (the
+	// min) is evicted, row 32 inherits the spillover estimate.
+	drive(g, 0, 32, 1)
+	s := g.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+	// Row 20 must now be untracked (re-observing it goes to spillover);
+	// row 32 must be tracked with count 3 (2 more to reach 5 -> still
+	// below threshold, but incrementing works).
+	tb := g.banks[0]
+	if _, ok := tb.counts[20]; ok {
+		t.Error("evicted row 20 still tracked")
+	}
+	if n := tb.counts[32]; n != 3 {
+		t.Errorf("newcomer count = %d, want 3 (inherited spillover)", n)
+	}
+	if tb.spillover != 2 {
+		t.Errorf("spillover = %d, want 2 (old min count)", tb.spillover)
+	}
+	// Tie-break determinism: equal-count entries evict the smaller row.
+	g2, _ := NewGraphene(Config{Banks: 1, RowsPerBank: 1024, Threshold: 100, TableSize: 2})
+	drive(g2, 0, 40, 1) // 40->1
+	drive(g2, 0, 50, 1) // 50->1
+	drive(g2, 0, 60, 2) // spillover 2 > 1: evict row 40 (smaller of the tie)
+	tb2 := g2.banks[0]
+	if _, ok := tb2.counts[40]; ok {
+		t.Error("tie-break evicted the wrong row (40 survived)")
+	}
+	if _, ok := tb2.counts[50]; !ok {
+		t.Error("tie-break evicted the wrong row (50 gone)")
+	}
+}
+
+func TestGrapheneCatchesHeavyHitterDespiteNoise(t *testing.T) {
+	// The Misra-Gries guarantee: a row activated more than
+	// spillover+Threshold times is always detected, however much decoy
+	// traffic tries to crowd it out. 8 decoys against a 4-entry table.
+	g, err := NewGraphene(Config{Banks: 1, RowsPerBank: 1 << 15, Threshold: 64, TableSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := 500
+	decoys := []int{100, 150, 200, 250, 300, 350, 400, 450}
+	refreshed := false
+	for i := 0; i < 64*12; i++ {
+		if got := g.OnActivate(0, heavy); len(got) > 0 {
+			refreshed = true
+			break
+		}
+		if got := g.OnActivate(0, decoys[i%len(decoys)]); len(got) > 0 {
+			// Decoy mitigations are fine; they just cost refreshes.
+			continue
+		}
+	}
+	if !refreshed {
+		t.Error("heavy hitter was never mitigated despite decoy pressure")
+	}
+}
+
+func TestPARADeterministicAtFixedSeed(t *testing.T) {
+	run := func() []int {
+		p, err := NewPARA(Config{Banks: 1, RowsPerBank: 1 << 15, Prob: 1.0 / 8, Seed: 1234})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for i := 0; i < 2000; i++ {
+			out = append(out, p.OnActivate(0, 500)...)
+			if i%512 == 511 {
+				p.OnRefreshWindow()
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PARA not deterministic at fixed seed")
+	}
+	if len(a) == 0 {
+		t.Fatal("PARA never refreshed at p=1/8 over 2000 activations")
+	}
+	// A different seed must give a different refresh schedule.
+	p2, _ := NewPARA(Config{Banks: 1, RowsPerBank: 1 << 15, Prob: 1.0 / 8, Seed: 99})
+	var c []int
+	for i := 0; i < 2000; i++ {
+		c = append(c, p2.OnActivate(0, 500)...)
+		if i%512 == 511 {
+			p2.OnRefreshWindow()
+		}
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical PARA schedules")
+	}
+}
+
+func TestOracleNeverMissesAboveThreshold(t *testing.T) {
+	// Under any interleaving of activations, no row may accumulate
+	// Threshold activations (regular or refresh-induced) without the
+	// oracle refreshing its neighbours.
+	const threshold = 16
+	o, err := NewOracle(Config{Banks: 1, RowsPerBank: 4096, Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow exact counts, resetting on mitigation like the oracle does.
+	shadow := map[int]int{}
+	observe := func(row int, refreshes []int) {
+		shadow[row]++
+		if len(refreshes) > 0 {
+			shadow[row] = 0
+		}
+		if shadow[row] >= threshold {
+			t.Fatalf("row %d reached %d activations unmitigated", row, shadow[row])
+		}
+	}
+	rows := []int{100, 101, 102, 200, 300, 301}
+	for i := 0; i < 10000; i++ {
+		row := rows[i%len(rows)]
+		refreshes := o.OnActivate(0, row)
+		observe(row, refreshes)
+		// Feed refresh-activations back, like the engine does.
+		for _, v := range append([]int(nil), refreshes...) {
+			observe(v, o.OnMitigativeRefresh(0, v))
+		}
+	}
+	if o.Stats().Refreshes == 0 {
+		t.Error("oracle never refreshed")
+	}
+}
+
+func TestBudgetChargesAndStarves(t *testing.T) {
+	b, err := NewBudget(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBudget(0, 10); err == nil {
+		t.Error("zero allowance accepted")
+	}
+	// Two slots per 10-activation window.
+	for i := 0; i < 2; i++ {
+		if !b.TryConsume() {
+			t.Fatalf("slot %d rejected with budget available", i)
+		}
+	}
+	if b.TryConsume() {
+		t.Fatal("third refresh admitted over budget")
+	}
+	for i := 0; i < 10; i++ {
+		b.Tick()
+	}
+	if !b.TryConsume() {
+		t.Fatal("window rollover did not replenish")
+	}
+	s := b.Stats()
+	if s.Issued != 3 || s.Dropped != 1 || s.Windows != 1 || s.StarvedWindows != 1 {
+		t.Errorf("stats = %+v, want issued 3 dropped 1 windows 1 starved 1", s)
+	}
+	// Nil budget is the unlimited default.
+	var nb *Budget
+	nb.Tick()
+	if !nb.TryConsume() {
+		t.Error("nil budget rejected a refresh")
+	}
+	if nb.Stats() != (BudgetStats{}) {
+		t.Error("nil budget has nonzero stats")
+	}
+}
+
+func TestSoftTRRRefreshesOnlyRegisteredRows(t *testing.T) {
+	s, err := NewSoftTRR(Config{Banks: 2, RowsPerBank: 1024, Threshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterRow(0, 99)
+	if got := drive(s, 0, 100, 5); !reflect.DeepEqual(got, []int{99}) {
+		t.Errorf("refreshed %v, want just the registered row 99", got)
+	}
+	// Same row index in another bank is not registered.
+	if got := drive(s, 1, 100, 5); got != nil {
+		t.Errorf("unregistered bank refreshed %v", got)
+	}
+}
+
+func TestNoneNeverMitigates(t *testing.T) {
+	n, err := New("none", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drive(n, 0, 5, 1000); got != nil {
+		t.Errorf("none mitigated: %v", got)
+	}
+}

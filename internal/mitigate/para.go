@@ -1,0 +1,88 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"ptguard/internal/stats"
+)
+
+// PARA is Kim et al.'s stateless probabilistic mitigation: every
+// activation refreshes each distance-1 neighbour with a small independent
+// probability p. No tracker state means no table to overflow — many-sided
+// patterns gain nothing — but protection is only statistical, and like
+// every distance-1 scheme it never watches the activations its own
+// refreshes cause, so sustained Half-Double pressure still reaches
+// distance 2.
+//
+// Determinism: the RNG is reseeded at every refresh-window boundary from
+// stats.DeriveSeed(Config.Seed, window index), so a PARA run is a pure
+// function of (seed, activation stream) regardless of how many windows
+// elapsed or what other components drew randomness.
+type PARA struct {
+	cfg     Config
+	stats   Stats
+	rng     *stats.RNG
+	window  uint64
+	scratch []int
+}
+
+// DefaultPARAProb is the per-side refresh probability when Config.Prob is
+// zero. Real PARA uses ~0.001; the scaled-down campaign thresholds
+// (hundreds, not thousands, of activations) need a proportionally higher
+// rate for the same expected protection.
+const DefaultPARAProb = 1.0 / 64
+
+func init() {
+	Register("para", func(cfg Config) (Mitigator, error) { return NewPARA(cfg) })
+}
+
+// NewPARA builds the probabilistic mitigator.
+func NewPARA(cfg Config) (*PARA, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Prob == 0 {
+		cfg.Prob = DefaultPARAProb
+	}
+	if cfg.Prob < 0 || cfg.Prob > 1 {
+		return nil, fmt.Errorf("mitigate: PARA probability %v outside [0, 1]", cfg.Prob)
+	}
+	p := &PARA{cfg: cfg}
+	p.reseed()
+	return p, nil
+}
+
+// reseed derives the current window's RNG.
+func (p *PARA) reseed() {
+	p.rng = stats.NewRNG(stats.DeriveSeed(p.cfg.Seed, fmt.Sprintf("para/window/%d", p.window)))
+}
+
+// Name implements Mitigator.
+func (p *PARA) Name() string { return "para" }
+
+// OnActivate implements Mitigator: each in-range neighbour is refreshed
+// with probability Prob. The Bernoulli draw happens for every neighbour
+// on every activation (in -1, +1 order), so the consumed RNG stream — and
+// with it the whole run — is reproducible.
+func (p *PARA) OnActivate(bank, row int) []int {
+	var nb [2]int
+	p.scratch = p.scratch[:0]
+	for _, v := range Neighbours(nb[:0], row, p.cfg.RowsPerBank) {
+		if p.rng.Bernoulli(p.cfg.Prob) {
+			p.scratch = append(p.scratch, v)
+		}
+	}
+	p.stats.Refreshes += uint64(len(p.scratch))
+	return p.scratch
+}
+
+// OnRefreshWindow implements Mitigator: PARA has no state to reset, but
+// the RNG moves to the next window's derived stream.
+func (p *PARA) OnRefreshWindow() {
+	p.window++
+	p.reseed()
+	p.stats.WindowResets++
+}
+
+// Stats implements Mitigator.
+func (p *PARA) Stats() Stats { return p.stats }
