@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke mitigate-smoke bench-smoke bench bench-json bench-json-smoke
+.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke bench-smoke bench bench-json bench-json-smoke
 
 # ci is the gate every change must pass.
-ci: vet build test race fuzz-smoke mitigate-smoke bench-smoke bench-json-smoke
+ci: vet build test race fuzz-smoke chaos-smoke mitigate-smoke bench-smoke bench-json-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,15 @@ fuzz-smoke:
 	$(GO) test ./internal/pte -run=^$$ -fuzz=FuzzEntryFieldOps -fuzztime=5s
 	$(GO) test ./internal/core -run=^$$ -fuzz=FuzzMACEmbedVerifyStrip -fuzztime=5s
 	$(GO) test ./internal/mitigate -run=^$$ -fuzz=FuzzMisraGries -fuzztime=5s
+	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalLoad -fuzztime=5s
+	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalCorruption -fuzztime=5s
+
+# chaos-smoke: one soak round over the full fault-point catalog — real
+# process kills, torn journal writes, fsync/disk faults, worker panics, hung
+# jobs — plus a deliberate journal corruption per cycle; fails unless every
+# resumed report is byte-identical to the uninterrupted same-seed run.
+chaos-smoke:
+	$(GO) run ./cmd/ptguard-soak -rounds 1 -lines 20 -jobs 6 -timeout 5s -quiet
 
 # A tiny head-to-head matrix: the mitigation registry, attack patterns, and
 # campaign plumbing all exercised end to end in a couple of seconds.

@@ -5,11 +5,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ptguard/internal/attack"
 	"ptguard/internal/core"
@@ -53,14 +56,24 @@ func run() error {
 
 	format := report.Format(*csv, *jsonOut)
 	if *compare {
+		// Coverage is one monolithic call that cannot observe a context;
+		// leave default signal handling so Ctrl-C still kills it.
 		return runCoverage(*seed, *trials, *flips, format)
 	}
+
+	// Drain cleanly on SIGINT/SIGTERM: finish the scenario in flight, skip
+	// the rest, and still flush any observability outputs gathered so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	sink := &obsSink{
 		metricsOut: *metricsOut,
 		traceOut:   *traceOut,
 		traceCap:   *traceCap,
 	}
-	if err := runScenarios(*seed, format, sink); err != nil {
+	if err := runScenarios(ctx, *seed, format, sink); err != nil {
+		if werr := sink.write(); werr != nil {
+			return errors.Join(err, werr)
+		}
 		return err
 	}
 	return sink.write()
@@ -142,7 +155,7 @@ func (s *obsSink) write() error {
 	return nil
 }
 
-func runScenarios(seed uint64, format string, sink *obsSink) error {
+func runScenarios(ctx context.Context, seed uint64, format string, sink *obsSink) error {
 	tbl := report.New("Rowhammer exploit scenarios (end to end)",
 		"scenario", "system", "exploit succeeded", "detected", "notes")
 
@@ -189,9 +202,15 @@ func runScenarios(seed uint64, format string, sink *obsSink) error {
 		{name: "W^X bypass (NX flip)", protected: false, f: nxBit},
 		{name: "W^X bypass (NX flip)", protected: true, f: nxBit},
 	} {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted: %w", err)
+		}
 		if err := scenario(s.name, s.protected, s.f); err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted: %w", err)
 	}
 
 	// Known-plaintext CTB DoS (§VII-B): needs a protected world.

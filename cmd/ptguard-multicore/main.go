@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ptguard/internal/harness"
 	"ptguard/internal/report"
@@ -48,7 +50,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rep, err := harness.Run(context.Background(), jobs, harness.Options{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := harness.Run(ctx, jobs, harness.Options{
 		Workers:  *workers,
 		Progress: os.Stderr,
 	})

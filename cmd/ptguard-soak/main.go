@@ -1,0 +1,451 @@
+// Command ptguard-soak is the standing proof that the harness's
+// checkpoint/resume is exact under faults: it loops a deterministic
+// correction campaign, interleaving chaos-injected legs (process kills,
+// torn journal writes, fsync failures, disk-full, worker panics, hung
+// jobs — the full internal/chaos catalog) and deliberate mid-file journal
+// corruption with resumed legs, and asserts that the final merged report
+// is byte-identical to the same-seed uninterrupted run.
+//
+// Each disrupted leg runs as a child process (this binary re-executed with
+// -child), so an injected kill is a real SIGKILL-style process death, not
+// a simulation of one. The parent resumes the journal until a leg runs
+// clean, then compares its report bytes against the in-process reference.
+// Any divergence is a durability bug and exits non-zero.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ptguard/internal/chaos"
+	"ptguard/internal/harness"
+	"ptguard/internal/obs"
+	"ptguard/internal/report"
+	"ptguard/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-soak:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		rounds  = flag.Int("rounds", 1, "soak rounds (each cycles every selected fault point)")
+		seed    = flag.Uint64("seed", 42, "campaign seed (per-job seeds and chaos schedules derive from it)")
+		lines   = flag.Int("lines", 40, "correction campaign: faulty lines per probability")
+		jobs    = flag.Int("jobs", 12, "correction campaign: number of flip-probability grid points")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		faults  = flag.String("faults", "all",
+			fmt.Sprintf("comma-separated fault points to cycle, or \"all\" (catalog: %v)", chaos.Points()))
+		maxLegs = flag.Int("max-legs", 6, "disrupted legs per fault point before the final clean leg")
+		timeout = flag.Duration("timeout", 15*time.Second, "per-job wall-clock timeout in each leg")
+		backoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff (deterministic jitter)")
+		drain   = flag.Duration("drain-grace", 2*time.Second, "grace for in-flight jobs on SIGINT/SIGTERM")
+		format  = flag.String("format", "table", "summary output format: table, csv or json")
+		quiet   = flag.Bool("quiet", false, "suppress per-leg progress on stderr")
+		keep    = flag.Bool("keep", false, "keep the journal artifact directory")
+		dirFlag = flag.String("dir", "", "journal artifact directory (default: a temp dir)")
+
+		debugAddr = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) with live soak counters")
+
+		// Child-leg mode (internal; the parent re-executes itself with these).
+		child     = flag.Bool("child", false, "internal: run one campaign leg and print the report")
+		journal   = flag.String("journal", "", "internal: child journal path")
+		chaosSpec = flag.String("chaos", "", "internal: child chaos schedule spec")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "internal: child chaos schedule seed")
+	)
+	flag.Parse()
+
+	cfg := legConfig{
+		seed: *seed, lines: *lines, jobs: *jobs, workers: *workers,
+		timeout: *timeout, backoff: *backoff, drain: *drain, quiet: *quiet,
+	}
+	if *child {
+		return runChildLeg(cfg, *journal, *chaosSpec, *chaosSeed)
+	}
+
+	points, err := selectPoints(*faults)
+	if err != nil {
+		return err
+	}
+
+	dir := *dirFlag
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "ptguard-soak-*")
+		if err != nil {
+			return err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if !*keep {
+		defer os.RemoveAll(dir)
+	} else {
+		defer fmt.Fprintf(os.Stderr, "ptguard-soak: artifacts kept in %s\n", dir)
+	}
+
+	status := &soakStatus{}
+	if *debugAddr != "" {
+		srv, derr := obs.StartDebugServer(*debugAddr)
+		if derr != nil {
+			return derr
+		}
+		defer srv.Close()
+		obs.PublishFunc("ptguard.soak", func() any { return status.snapshot() })
+		fmt.Fprintf(os.Stderr, "ptguard-soak: debug endpoint at http://%s/debug/vars\n", srv.Addr())
+	}
+
+	// First SIGINT/SIGTERM stops scheduling new legs (in-flight children
+	// drain via their own handlers); a second one kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The uninterrupted same-seed reference, computed once in-process.
+	ref, err := referenceReport(ctx, cfg)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	tbl := report.New(
+		fmt.Sprintf("Crash-safe soak — resumed report vs uninterrupted run (%d jobs, %d lines, seed %d)",
+			cfg.jobs, cfg.lines, cfg.seed),
+		"round", "fault point", "schedule", "legs", "kills", "corrupted", "verdict")
+	failures := 0
+	for round := 1; round <= *rounds && ctx.Err() == nil; round++ {
+		for _, p := range points {
+			if ctx.Err() != nil {
+				break
+			}
+			res, err := runFaultCycle(ctx, self, dir, cfg, round, p, *maxLegs, *quiet)
+			if err != nil {
+				return fmt.Errorf("round %d, %s: %w", round, p, err)
+			}
+			verdict := fmt.Sprintf("byte-identical (%d bytes)", len(res.out))
+			if !bytes.Equal(res.out, ref) {
+				verdict = "MISMATCH"
+				failures++
+				status.mismatches.Add(1)
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "ptguard-soak: round %d %s: report diverged:\n%s",
+						round, p, firstDiff(ref, res.out))
+				}
+			} else {
+				status.matches.Add(1)
+			}
+			status.legs.Add(int64(res.legs))
+			status.kills.Add(int64(res.kills))
+			status.corruptions.Add(int64(res.corrupted))
+			tbl.AddRow(report.I(round), string(p), res.schedule, report.I(res.legs),
+				report.I(res.kills), report.I(res.corrupted), verdict)
+		}
+		status.rounds.Add(1)
+	}
+	if err := report.Emit(os.Stdout, tbl, *format); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("soak interrupted: %w", err)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d fault cycle(s) produced a report that was not byte-identical", failures)
+	}
+	return nil
+}
+
+// legConfig is everything a leg (parent reference or child) needs to build
+// the identical campaign.
+type legConfig struct {
+	seed           uint64
+	lines, jobs    int
+	workers        int
+	timeout        time.Duration
+	backoff, drain time.Duration
+	quiet          bool
+}
+
+// spec builds the correction campaign: a geometric-ish grid of flip
+// probabilities, dense enough that kills land mid-campaign.
+func (c legConfig) spec() harness.CorrectionSpec {
+	probs := make([]float64, c.jobs)
+	for i := range probs {
+		probs[i] = 1.0 / float64(64*(i+2))
+	}
+	return harness.CorrectionSpec{Lines: c.lines, Probs: probs}
+}
+
+func (c legConfig) fingerprint() string {
+	return fmt.Sprintf("soak-v1 seed=%d lines=%d jobs=%d", c.seed, c.lines, c.jobs)
+}
+
+// render produces the canonical report bytes every leg is compared by.
+func (c legConfig) render(results []harness.CorrectionPoint) ([]byte, error) {
+	tbl, err := harness.CorrectionTable(results, c.spec())
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.Emit(&buf, tbl, "table"); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// options assembles the harness options shared by every leg.
+func (c legConfig) options(journalPath string, inj *chaos.Injector) harness.Options {
+	opts := harness.Options{
+		Workers:     c.workers,
+		Timeout:     c.timeout,
+		Retries:     2,
+		Backoff:     c.backoff,
+		DrainGrace:  c.drain,
+		JournalPath: journalPath,
+		Fingerprint: c.fingerprint(),
+		Chaos:       inj,
+	}
+	if !c.quiet {
+		opts.Progress = os.Stderr
+	}
+	return opts
+}
+
+// referenceReport runs the campaign once, uninterrupted and unjournaled.
+func referenceReport(ctx context.Context, cfg legConfig) ([]byte, error) {
+	jb, err := cfg.spec().Jobs(cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.options("", nil)
+	rep, err := harness.Run(ctx, jb, opts)
+	if err != nil {
+		return nil, err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return nil, err
+	}
+	return cfg.render(results)
+}
+
+// runChildLeg is one campaign leg in a child process: resume the journal,
+// run under the given chaos schedule, print the report to stdout. An
+// injected proc.kill or short-write crash exits with chaos.KillExitCode
+// from inside the harness; every other failure exits 1 via main.
+func runChildLeg(cfg legConfig, journalPath, spec string, chaosSeed uint64) error {
+	if journalPath == "" {
+		return errors.New("-child requires -journal")
+	}
+	inj, err := chaos.Parse(spec, chaosSeed)
+	if err != nil {
+		return err
+	}
+	jb, err := cfg.spec().Jobs(cfg.seed)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := harness.Run(ctx, jb, cfg.options(journalPath, inj))
+	if err != nil {
+		return err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return err
+	}
+	out, err := cfg.render(results)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// cycleResult summarises one (round, fault point) kill/corrupt/resume
+// cycle.
+type cycleResult struct {
+	out       []byte
+	schedule  string
+	legs      int
+	kills     int
+	corrupted int
+}
+
+// runFaultCycle drives one fault point: disrupted legs under a
+// deterministic schedule (with one mid-file journal corruption after the
+// first leg), resumed until a leg runs clean — chaos is dropped after
+// maxLegs so the cycle always terminates — and returns the clean leg's
+// report bytes.
+func runFaultCycle(ctx context.Context, self, dir string, cfg legConfig, round int, p chaos.Point, maxLegs int, quiet bool) (cycleResult, error) {
+	journalPath := filepath.Join(dir,
+		fmt.Sprintf("round%d-%s.jsonl", round, strings.ReplaceAll(string(p), ".", "-")))
+	// The firing position walks the campaign deterministically with the
+	// round, so successive rounds fault different operations.
+	after := 1 + int(stats.DeriveSeed(cfg.seed, fmt.Sprintf("soak/%d/%s", round, p))%uint64(cfg.jobs))
+	schedule := fmt.Sprintf("%s:after=%d", p, after)
+	chaosSeed := stats.DeriveSeed(cfg.seed, fmt.Sprintf("soak-chaos/%d/%s", round, p))
+
+	res := cycleResult{schedule: schedule}
+	for leg := 1; ; leg++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		spec := schedule
+		if leg > maxLegs {
+			spec = "" // final clean leg: always converges
+		}
+		res.legs++
+		cmd := exec.CommandContext(ctx, self,
+			"-child",
+			"-journal", journalPath,
+			"-chaos", spec,
+			"-chaos-seed", fmt.Sprint(chaosSeed),
+			"-seed", fmt.Sprint(cfg.seed),
+			"-lines", fmt.Sprint(cfg.lines),
+			"-jobs", fmt.Sprint(cfg.jobs),
+			"-workers", fmt.Sprint(cfg.workers),
+			"-timeout", cfg.timeout.String(),
+			"-retry-backoff", cfg.backoff.String(),
+			"-drain-grace", cfg.drain.String(),
+			"-quiet=true",
+		)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		if err == nil {
+			res.out = stdout.Bytes()
+			return res, nil
+		}
+		code := -1
+		var xerr *exec.ExitError
+		if errors.As(err, &xerr) {
+			code = xerr.ExitCode()
+		} else {
+			return res, fmt.Errorf("leg %d: %w", leg, err)
+		}
+		if code == chaos.KillExitCode {
+			res.kills++
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "ptguard-soak: round %d %s leg %d: exit %d (%s), resuming\n",
+				round, p, leg, code, strings.TrimSpace(firstLine(stderr.String())))
+		}
+		if leg > maxLegs {
+			return res, fmt.Errorf("clean leg failed (exit %d): %s", code, stderr.String())
+		}
+		// After the first disrupted leg, corrupt the journal mid-file once:
+		// the resumed leg must quarantine the record and re-run its job.
+		if leg == 1 {
+			if corruptJournal(journalPath, cfg.seed, round, p) {
+				res.corrupted++
+			}
+		}
+	}
+}
+
+// corruptJournal deterministically flips one byte inside a middle record
+// of the journal, if it has enough records to corrupt. Reports whether a
+// flip happened.
+func corruptJournal(path string, seed uint64, round int, p chaos.Point) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Candidate record lines: everything after the header, non-empty.
+	var idx []int
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) > 8 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return false
+	}
+	h := stats.DeriveSeed(seed, fmt.Sprintf("soak-corrupt/%d/%s", round, p))
+	line := lines[idx[h%uint64(len(idx))]]
+	line[len(line)/2] ^= 0x55
+	return os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644) == nil
+}
+
+// selectPoints parses the -faults flag against the chaos catalog.
+func selectPoints(csv string) ([]chaos.Point, error) {
+	if strings.TrimSpace(csv) == "" || csv == "all" {
+		return chaos.Points(), nil
+	}
+	catalog := make(map[chaos.Point]bool)
+	for _, p := range chaos.Points() {
+		catalog[p] = true
+	}
+	var out []chaos.Point
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p := chaos.Point(name)
+		if !catalog[p] {
+			return nil, fmt.Errorf("unknown fault point %q (catalog: %v)", name, chaos.Points())
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-faults selected no fault points")
+	}
+	return out, nil
+}
+
+// soakStatus is the live counter set published on -debug-addr.
+type soakStatus struct {
+	rounds, legs, kills, corruptions, matches, mismatches atomic.Int64
+}
+
+func (s *soakStatus) snapshot() map[string]int64 {
+	return map[string]int64{
+		"rounds":      s.rounds.Load(),
+		"legs":        s.legs.Load(),
+		"kills":       s.kills.Load(),
+		"corruptions": s.corruptions.Load(),
+		"matches":     s.matches.Load(),
+		"mismatches":  s.mismatches.Load(),
+	}
+}
+
+// firstDiff renders the first divergent line of two reports.
+func firstDiff(want, got []byte) string {
+	w := strings.Split(string(want), "\n")
+	g := strings.Split(string(got), "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s\n", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d\n", len(w), len(g))
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}

@@ -118,6 +118,12 @@ func TestCommandLineTools(t *testing.T) {
 				"-mitigate-trials", "1", "-mitigate-acts", "4096", "-quiet"},
 			want: []string{"Mitigation head-to-head", "oracle", "no flips"},
 		},
+		{
+			bin: "ptguard-soak",
+			args: []string{"-faults", "worker.panic", "-lines", "20", "-jobs", "6",
+				"-timeout", "30s", "-quiet"},
+			want: []string{"Crash-safe soak", "worker.panic", "byte-identical"},
+		},
 	}
 	for _, tt := range tests {
 		name := tt.bin + strings.Join(tt.args, "_")
@@ -140,6 +146,46 @@ func TestCommandLineTools(t *testing.T) {
 	if err := cmd.Run(); err == nil {
 		t.Error("ptguard-report accepted an unknown table")
 	}
+	if err := exec.Command(filepath.Join(binDir, "ptguard-soak"),
+		"-faults", "nonsense.point").Run(); err == nil {
+		t.Error("ptguard-soak accepted an unknown fault point")
+	}
+
+	// Kill-resume determinism: a soak cycle that really SIGKILLs the
+	// campaign mid-journal-write (short write included) and corrupts the
+	// journal between legs must still converge to a report byte-identical
+	// to the uninterrupted run, with at least one real process kill and
+	// one corruption exercised per fault point.
+	t.Run("ptguard-soak_kill_resume_determinism", func(t *testing.T) {
+		cmd := exec.Command(filepath.Join(binDir, "ptguard-soak"),
+			"-faults", "proc.kill,journal.short-write",
+			"-lines", "20", "-jobs", "6", "-timeout", "30s",
+			"-format", "csv", "-quiet")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ptguard-soak: %v\n%s", err, out)
+		}
+		rows := strings.Split(strings.TrimSpace(string(out)), "\n")
+		if len(rows) != 3 { // header + one row per fault point
+			t.Fatalf("want 3 CSV rows, got %d:\n%s", len(rows), out)
+		}
+		for _, row := range rows[1:] {
+			cells := strings.Split(row, ",")
+			if len(cells) != 7 {
+				t.Fatalf("malformed CSV row %q", row)
+			}
+			point, kills, corrupted, verdict := cells[1], cells[4], cells[5], cells[6]
+			if !strings.Contains(verdict, "byte-identical") {
+				t.Errorf("%s: resumed report diverged: %q", point, verdict)
+			}
+			if kills == "0" {
+				t.Errorf("%s: cycle finished without a real process kill", point)
+			}
+			if corrupted == "0" {
+				t.Errorf("%s: cycle finished without exercising journal corruption", point)
+			}
+		}
+	})
 
 	// Observability outputs: one sweep point with -metrics-out/-trace-out
 	// must yield a JSONL time series with at least two snapshots per run

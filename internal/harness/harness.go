@@ -7,9 +7,14 @@
 // regardless of scheduling.
 //
 // The runner is robust by construction: a panicking job is recovered and
-// retried a bounded number of times, every job runs under a wall-clock
-// timeout, and completed jobs are checkpointed to a JSONL journal so an
-// interrupted campaign resumes by skipping work already done.
+// retried (with exponential backoff and deterministic jitter) a bounded
+// number of times, every job runs under a wall-clock timeout, a job that
+// exhausts its attempts is quarantined as poison (reported, never wedging
+// a worker), and finished jobs are checkpointed to a CRC-framed JSONL
+// journal so an interrupted campaign resumes by skipping work already
+// done. Every durability path carries a chaos fault-point hook
+// (internal/chaos), so kills, torn writes, and disk faults are first-class
+// test inputs — cmd/ptguard-soak runs that proof continuously.
 package harness
 
 import (
@@ -20,6 +25,9 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"ptguard/internal/chaos"
+	"ptguard/internal/stats"
 )
 
 // Job is one independent unit of work. Key must be unique within a
@@ -43,8 +51,23 @@ type Options struct {
 	// Timeout bounds each job attempt's wall-clock time; 0 disables.
 	Timeout time.Duration
 	// Retries is the number of re-attempts after a failed or panicked
-	// attempt (total attempts = Retries+1).
+	// attempt (total attempts = Retries+1). A job that exhausts all
+	// attempts is quarantined: reported in its outcome (and journaled with
+	// its attempt history) without wedging a worker.
 	Retries int
+	// Backoff is the base delay before the first re-attempt; each further
+	// re-attempt doubles it, capped by BackoffMax. The actual delay
+	// carries deterministic per-(job, attempt) jitter in [0.5x, 1.5x), so
+	// retry storms decorrelate without losing reproducibility. 0 retries
+	// immediately.
+	Backoff time.Duration
+	// BackoffMax caps the exponential backoff; 0 selects 30s.
+	BackoffMax time.Duration
+	// DrainGrace is the window granted to in-flight job attempts when the
+	// campaign context is cancelled (SIGINT/SIGTERM): attempts finishing
+	// within it are journaled as completions instead of being abandoned.
+	// 0 abandons in-flight work immediately on cancellation.
+	DrainGrace time.Duration
 	// JournalPath enables the JSONL checkpoint journal. Completed jobs
 	// are appended as they finish; a re-run with the same path skips jobs
 	// whose keys are already journaled, reusing the stored results.
@@ -62,6 +85,10 @@ type Options struct {
 	// so external pollers (the -debug-addr expvar endpoint) can snapshot
 	// progress while the campaign runs.
 	LiveStatus *LiveStatus
+	// Chaos, when non-nil, injects scheduled faults at the harness's
+	// durability fault points (journal writes/fsyncs, worker panics, hung
+	// jobs, process kills). Nil runs fault-free.
+	Chaos *chaos.Injector
 }
 
 // Outcome is one job's final state.
@@ -78,6 +105,15 @@ type Outcome[R any] struct {
 	Elapsed time.Duration
 	// FromJournal marks a result restored from the checkpoint journal.
 	FromJournal bool
+	// Quarantined marks a poison job: every attempt failed on its own
+	// merits (not campaign cancellation), so the job was given up on and
+	// its failure journaled.
+	Quarantined bool
+	// PriorAttempts and PriorError carry the journaled failure history of
+	// a job that was quarantined by an earlier (killed or resumed) run of
+	// this campaign, so flaky-job history survives resume.
+	PriorAttempts int
+	PriorError    string
 }
 
 // Metrics summarises a campaign run.
@@ -92,6 +128,19 @@ type Metrics struct {
 	Retried int
 	// FromJournal counts jobs skipped because the journal had them.
 	FromJournal int
+	// Quarantined counts poison jobs that exhausted every attempt.
+	Quarantined int
+	// PriorFailures counts jobs whose journal carried failure history
+	// from an earlier run of this campaign.
+	PriorFailures int
+	// JournalQuarantined counts corrupted journal records that were
+	// quarantined on load (their jobs re-ran).
+	JournalQuarantined int
+	// JournalBytes counts checkpoint bytes appended by this process.
+	JournalBytes int64
+	// Backoffs counts retry backoff sleeps; BackoffTotal is their sum.
+	Backoffs     int
+	BackoffTotal time.Duration
 	// Elapsed is the campaign wall-clock time.
 	Elapsed time.Duration
 }
@@ -109,6 +158,8 @@ func (m Metrics) JobsPerSec() float64 {
 type Report[R any] struct {
 	Outcomes []Outcome[R]
 	Metrics  Metrics
+	// Quarantined lists corrupted journal records rejected on load.
+	Quarantined []QuarantinedRecord
 }
 
 // Err joins every job error, or returns nil if all jobs succeeded.
@@ -156,32 +207,49 @@ func Run[R any](ctx context.Context, jobs []Job[R], opts Options) (*Report[R], e
 	}
 
 	var (
-		jr        *journal
-		completed map[string]journalEntry
+		jr *journal
+		st *journalState
 	)
 	if opts.JournalPath != "" {
 		var err error
-		jr, completed, err = openJournal(opts.JournalPath, opts.Fingerprint)
+		jr, st, err = openJournal(opts.JournalPath, opts.Fingerprint, opts.Chaos)
 		if err != nil {
 			return nil, err
 		}
 		defer jr.Close()
+		if opts.Progress != nil {
+			for _, q := range st.quarantined {
+				fmt.Fprintf(opts.Progress, "harness: journal: quarantined corrupt record at %s\n", q)
+			}
+		}
 	}
 
 	outcomes := make([]Outcome[R], len(jobs))
 	var pending []int
 	c := &counters{}
 	opts.LiveStatus.attach(len(jobs), c)
+	if st != nil {
+		c.journalQuarantined.Store(int64(len(st.quarantined)))
+	}
 	for i, j := range jobs {
-		if e, ok := completed[j.Key]; ok {
-			var res R
-			if err := e.decode(&res); err == nil {
-				outcomes[i] = Outcome[R]{Key: j.Key, Result: res, FromJournal: true}
-				c.fromJournal.Add(1)
-				continue
+		if st != nil {
+			if f, ok := st.failures[j.Key]; ok {
+				outcomes[i].PriorAttempts = f.Attempts
+				outcomes[i].PriorError = f.Error
+				c.priorFailures.Add(1)
 			}
-			// Undecodable checkpoint (e.g. the result type changed):
-			// fall through and re-run the job.
+			if e, ok := st.completed[j.Key]; ok {
+				var res R
+				if err := e.decode(&res); err == nil {
+					outcomes[i].Key = j.Key
+					outcomes[i].Result = res
+					outcomes[i].FromJournal = true
+					c.fromJournal.Add(1)
+					continue
+				}
+				// Undecodable checkpoint (e.g. the result type changed):
+				// fall through and re-run the job.
+			}
 		}
 		pending = append(pending, i)
 	}
@@ -203,18 +271,33 @@ func Run[R any](ctx context.Context, jobs []Job[R], opts Options) (*Report[R], e
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
+				prior := outcomes[i]
 				out := runJob(ctx, jobs[i], opts, c)
+				out.PriorAttempts, out.PriorError = prior.PriorAttempts, prior.PriorError
 				outcomes[i] = out
 				if out.Err == nil {
 					c.executed.Add(1)
 					if jr != nil {
 						if err := jr.append(out.Key, out.Result, out.Attempts, out.Elapsed); err != nil {
 							c.journalErr(err)
+						} else if opts.Chaos.Fire(chaos.ProcKill) {
+							// Kill right after a checkpoint lands: the
+							// canonical mid-campaign crash.
+							opts.Chaos.Kill(chaos.ProcKill)
 						}
 					}
 				} else {
 					c.failed.Add(1)
+					if out.Quarantined {
+						c.quarantined.Add(1)
+						if jr != nil {
+							if err := jr.appendFailure(out.Key, out.Attempts, out.Elapsed, out.Err); err != nil {
+								c.journalErr(err)
+							}
+						}
+					}
 				}
+				c.journalBytes.Store(jr.Bytes())
 			}
 		}()
 	}
@@ -231,14 +314,23 @@ feed:
 	rep.stop()
 
 	m := Metrics{
-		Total:       len(jobs),
-		Executed:    int(c.executed.Load()),
-		Failed:      int(c.failed.Load()),
-		Retried:     int(c.retried.Load()),
-		FromJournal: int(c.fromJournal.Load()),
-		Elapsed:     time.Since(start),
+		Total:              len(jobs),
+		Executed:           int(c.executed.Load()),
+		Failed:             int(c.failed.Load()),
+		Retried:            int(c.retried.Load()),
+		FromJournal:        int(c.fromJournal.Load()),
+		Quarantined:        int(c.quarantined.Load()),
+		PriorFailures:      int(c.priorFailures.Load()),
+		JournalQuarantined: int(c.journalQuarantined.Load()),
+		JournalBytes:       c.journalBytes.Load(),
+		Backoffs:           int(c.backoffs.Load()),
+		BackoffTotal:       time.Duration(c.backoffNanos.Load()),
+		Elapsed:            time.Since(start),
 	}
 	report := &Report[R]{Outcomes: outcomes, Metrics: m}
+	if st != nil {
+		report.Quarantined = st.quarantined
+	}
 	if opts.Progress != nil {
 		fmt.Fprintf(opts.Progress, "harness: done: %d executed, %d from journal, %d failed, %d retried in %s (%.2f jobs/s)\n",
 			m.Executed, m.FromJournal, m.Failed, m.Retried, m.Elapsed.Round(time.Millisecond), m.JobsPerSec())
@@ -253,7 +345,9 @@ feed:
 }
 
 // runJob runs one job with bounded retry; panics and timeouts count as
-// failed attempts.
+// failed attempts. Re-attempts back off exponentially with deterministic
+// per-(job, attempt) jitter. A job whose final attempt fails while the
+// campaign is still live is quarantined as poison.
 func runJob[R any](ctx context.Context, job Job[R], opts Options, c *counters) Outcome[R] {
 	start := time.Now()
 	out := Outcome[R]{Key: job.Key}
@@ -263,7 +357,7 @@ func runJob[R any](ctx context.Context, job Job[R], opts Options, c *counters) O
 			break
 		}
 		out.Attempts = attempt
-		res, err := runAttempt(ctx, job, opts.Timeout)
+		res, err := runAttempt(ctx, job, opts)
 		if err == nil {
 			out.Result, out.Err = res, nil
 			break
@@ -274,21 +368,73 @@ func runJob[R any](ctx context.Context, job Job[R], opts Options, c *counters) O
 		}
 		if attempt <= opts.Retries {
 			c.retried.Add(1)
+			if d := backoffDelay(opts, job.Key, attempt); d > 0 {
+				c.backoffs.Add(1)
+				c.backoffNanos.Add(int64(d))
+				if !sleepCtx(ctx, d) {
+					out.Err = ctx.Err()
+					out.Elapsed = time.Since(start)
+					return out
+				}
+			}
 		}
 	}
 	out.Elapsed = time.Since(start)
+	// Poison quarantine: the job burnt every attempt on its own failures
+	// (campaign-cancellation failures are not the job's fault).
+	out.Quarantined = out.Err != nil && ctx.Err() == nil
 	return out
+}
+
+// backoffDelay computes the delay before re-attempt number attempt+1:
+// Backoff << (attempt-1), capped at BackoffMax, scaled by a deterministic
+// jitter factor in [0.5, 1.5) derived from (job key, attempt). Pure
+// function — a re-run of the same campaign backs off identically.
+func backoffDelay(opts Options, key string, attempt int) time.Duration {
+	if opts.Backoff <= 0 {
+		return 0
+	}
+	max := opts.BackoffMax
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := opts.Backoff
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	u := stats.DeriveSeed(uint64(attempt), "backoff/"+key)
+	jitter := 0.5 + float64(u%(1<<20))/float64(1<<20) // [0.5, 1.5)
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // runAttempt executes one attempt under the per-job timeout, converting a
 // panic into an error. The job runs in its own goroutine so a deadline can
 // fire even if the job never checks the context; an over-deadline job is
-// abandoned, not killed.
-func runAttempt[R any](ctx context.Context, job Job[R], timeout time.Duration) (R, error) {
+// abandoned, not killed. When the campaign context (not the per-job
+// deadline) is what fired, Options.DrainGrace grants the in-flight attempt
+// a window to finish so its completion can still be journaled — the
+// graceful-drain half of SIGINT handling.
+func runAttempt[R any](ctx context.Context, job Job[R], opts Options) (R, error) {
 	actx := ctx
 	cancel := func() {}
-	if timeout > 0 {
-		actx, cancel = context.WithTimeout(ctx, timeout)
+	if opts.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, opts.Timeout)
 	}
 	defer cancel()
 	type attempt struct {
@@ -303,6 +449,16 @@ func runAttempt[R any](ctx context.Context, job Job[R], timeout time.Duration) (
 				ch <- attempt{zero, fmt.Errorf("job panicked: %v", p)}
 			}
 		}()
+		if opts.Chaos.Fire(chaos.WorkerPanic) {
+			panic("chaos: injected worker panic")
+		}
+		if opts.Chaos.Fire(chaos.JobHang) {
+			// A hung job: block until the attempt context dies, then fail.
+			<-actx.Done()
+			var zero R
+			ch <- attempt{zero, &chaos.Error{Point: chaos.JobHang, Op: "job attempt"}}
+			return
+		}
 		v, err := job.Run(actx)
 		ch <- attempt{v, err}
 	}()
@@ -310,6 +466,16 @@ func runAttempt[R any](ctx context.Context, job Job[R], timeout time.Duration) (
 	case a := <-ch:
 		return a.val, a.err
 	case <-actx.Done():
+		if ctx.Err() != nil && opts.DrainGrace > 0 {
+			// Campaign-level cancellation: drain rather than abandon.
+			grace := time.NewTimer(opts.DrainGrace)
+			defer grace.Stop()
+			select {
+			case a := <-ch:
+				return a.val, a.err
+			case <-grace.C:
+			}
+		}
 		var zero R
 		return zero, fmt.Errorf("job abandoned: %w", actx.Err())
 	}

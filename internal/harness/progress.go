@@ -14,6 +14,13 @@ type counters struct {
 	retried     atomic.Int64 // individual re-attempts
 	fromJournal atomic.Int64
 
+	quarantined        atomic.Int64 // poison jobs that exhausted every attempt
+	priorFailures      atomic.Int64 // jobs with journaled failure history
+	journalQuarantined atomic.Int64 // corrupt journal records rejected on load
+	journalBytes       atomic.Int64 // checkpoint bytes appended this process
+	backoffs           atomic.Int64 // retry backoff sleeps
+	backoffNanos       atomic.Int64 // total backoff time
+
 	mu    sync.Mutex
 	jrErr error
 }
@@ -49,6 +56,13 @@ type StatusSnapshot struct {
 	Failed      int64 `json:"failed"`
 	Retried     int64 `json:"retried"`
 	FromJournal int64 `json:"from_journal"`
+	// Durability counters (journal v2 + chaos hardening).
+	Quarantined        int64 `json:"quarantined"`
+	PriorFailures      int64 `json:"prior_failures"`
+	JournalQuarantined int64 `json:"journal_quarantined"`
+	JournalBytes       int64 `json:"journal_bytes"`
+	Backoffs           int64 `json:"backoffs"`
+	BackoffMS          int64 `json:"backoff_ms"`
 }
 
 // attach binds the status to a campaign's live counters.
@@ -73,11 +87,17 @@ func (ls *LiveStatus) Snapshot() StatusSnapshot {
 		return StatusSnapshot{}
 	}
 	return StatusSnapshot{
-		Total:       total,
-		Executed:    c.executed.Load(),
-		Failed:      c.failed.Load(),
-		Retried:     c.retried.Load(),
-		FromJournal: c.fromJournal.Load(),
+		Total:              total,
+		Executed:           c.executed.Load(),
+		Failed:             c.failed.Load(),
+		Retried:            c.retried.Load(),
+		FromJournal:        c.fromJournal.Load(),
+		Quarantined:        c.quarantined.Load(),
+		PriorFailures:      c.priorFailures.Load(),
+		JournalQuarantined: c.journalQuarantined.Load(),
+		JournalBytes:       c.journalBytes.Load(),
+		Backoffs:           c.backoffs.Load(),
+		BackoffMS:          c.backoffNanos.Load() / int64(time.Millisecond),
 	}
 }
 
