@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke bench-smoke bench bench-json bench-json-smoke
+.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench bench-json bench-json-smoke
 
 # ci is the gate every change must pass.
-ci: vet build test race fuzz-smoke chaos-smoke mitigate-smoke bench-smoke bench-json-smoke
+ci: vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench-json-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test ./internal/mitigate -run=^$$ -fuzz=FuzzMisraGries -fuzztime=5s
 	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalLoad -fuzztime=5s
 	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalCorruption -fuzztime=5s
+	$(GO) test ./internal/virt -run=^$$ -fuzz=FuzzNestedWalk -fuzztime=5s
 
 # chaos-smoke: one soak round over the full fault-point catalog — real
 # process kills, torn journal writes, fsync/disk faults, worker panics, hung
@@ -41,6 +42,12 @@ chaos-smoke:
 mitigate-smoke:
 	$(GO) run ./cmd/ptguard-mitigate -mitigations none,trr,oracle \
 		-patterns classic,half-double -trials 1 -acts 4096 -quiet
+
+# A tiny inter-VM campaign on the nested-paging substrate: 4 tenant VMs,
+# both attack targets, the unprotected and fully protected placements.
+vm-smoke:
+	$(GO) run ./cmd/ptguard-vm -tenants 4 -placements none,both \
+		-targets guest,stage2 -trials 1 -pages 8 -acts 4096 -quiet
 
 # One iteration of every benchmark: a build-and-run check that the bench
 # harnesses (including BenchmarkObsDisabledOverhead, the <2% disabled-path

@@ -1,0 +1,226 @@
+// Command ptguard-vm runs the inter-VM Rowhammer campaign on the nested
+// paging substrate: tenant-fleet sizes crossed with PT-Guard placements
+// (none, guest tables only, stage-2/EPT only, both) and attack targets (the
+// victim's guest tables vs the hypervisor's stage-2 tables), fanned out
+// over the internal/harness worker pool. Each trial builds a multi-tenant
+// host, double-sided hammers the rows holding the victim VM's targeted
+// table layer, then classifies every post-attack 2-D page walk as detected,
+// faulted, silently corrupted, or intact.
+//
+// The campaign is deterministic in its seed, and -journal checkpoints
+// completed jobs so an interrupted run resumes where it left off.
+//
+// Example:
+//
+//	ptguard-vm -tenants 4,16,120 -placements none,both -targets guest,stage2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptguard/internal/attack"
+	"ptguard/internal/harness"
+	"ptguard/internal/obs"
+	"ptguard/internal/report"
+	"ptguard/internal/virt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptguard-vm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Uint64("seed", 42, "campaign seed (per-job seeds derive from it)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		journal = flag.String("journal", "", "JSONL checkpoint path; resuming with the same path skips completed jobs")
+		format  = flag.String("format", "table", "output format: table, csv or json")
+		timeout = flag.Duration("timeout", 10*time.Minute, "per-job wall-clock timeout (0 = none)")
+		retries = flag.Int("retries", 1, "re-attempts per failed or panicked job")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress reporter")
+
+		tenants    = flag.String("tenants", "4", "comma-separated tenant-fleet sizes to sweep")
+		placements = flag.String("placements", "", "comma-separated guard placements: none, guest, stage2, both (empty = all)")
+		targets    = flag.String("targets", "", "comma-separated attack targets: guest, stage2 (empty = both)")
+		trials     = flag.Int("trials", 3, "trials per (tenants, target, placement) cell")
+		pages      = flag.Int("pages", 0, "leaf mappings per tenant VM (0 = default 16)")
+		threshold  = flag.Int("threshold", 0, "charge-loss flip threshold in activations (0 = scaled default)")
+		acts       = flag.Int("acts", 0, "double-sided activations per hammered row (0 = scaled default)")
+		correction = flag.Bool("correction", false, "enable the correction engine on guarded layers")
+		list       = flag.Bool("list", false, "print the guard placements and attack targets, then exit")
+
+		// Observability (internal/obs).
+		metricsOut = flag.String("metrics-out", "", "write per-trial time-series snapshots to this path (JSONL, or CSV when it ends in .csv)")
+		traceOut   = flag.String("trace-out", "", "write a merged Chrome trace_event JSON to this path (open in Perfetto)")
+		snapEvery  = flag.Int("snapshot-every", 0, "instructions between snapshots (0 = run-final snapshot only)")
+		traceCap   = flag.Int("trace-capacity", 0, "per-trial trace ring capacity (0 = default 65536)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address during the campaign")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("placements:", strings.Join(virt.PlacementNames(), ", "))
+		fmt.Println("targets:   ", strings.Join(attack.VMTargetNames(), ", "))
+		return nil
+	}
+
+	fleet, err := splitInts(*tenants)
+	if err != nil {
+		return fmt.Errorf("-tenants: %w", err)
+	}
+	spec := harness.VirtSpec{
+		Tenants:    fleet,
+		Placements: splitCSV(*placements),
+		Targets:    splitCSV(*targets),
+		Trials:     *trials,
+		PagesPerVM: *pages,
+		Correction: *correction,
+		Threshold:  *threshold,
+		Acts:       *acts,
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		spec.Obs = &harness.ObsSpec{
+			SnapshotEvery: *snapEvery,
+			TraceCapacity: *traceCap,
+			IncludeTrace:  *traceOut != "",
+		}
+	}
+
+	opts := harness.Options{
+		Workers:     *workers,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		JournalPath: *journal,
+		Fingerprint: fmt.Sprintf("vm-v1 seed=%d tenants=%s placements=%s targets=%s trials=%d pages=%d thr=%d acts=%d corr=%v obs=%v",
+			*seed, *tenants, *placements, *targets, *trials, *pages, *threshold, *acts, *correction, spec.Obs != nil),
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	if *debugAddr != "" {
+		live := &harness.LiveStatus{}
+		opts.LiveStatus = live
+		srv, derr := obs.StartDebugServer(*debugAddr)
+		if derr != nil {
+			return derr
+		}
+		defer srv.Close()
+		obs.PublishFunc("ptguard.campaign", func() any { return live.Snapshot() })
+		fmt.Fprintf(os.Stderr, "ptguard-vm: debug endpoint at http://%s/debug/vars\n", srv.Addr())
+	}
+
+	// SIGINT/SIGTERM cancel the campaign; the journal keeps what finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	jobs, err := spec.Jobs(*seed)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.Run(ctx, jobs, opts)
+	if err != nil {
+		return err
+	}
+	results, err := rep.Results()
+	if err != nil {
+		return err
+	}
+	tables, err := harness.VirtTables(results, spec)
+	if err != nil {
+		return err
+	}
+	if err := writeObsOutputs(results, *metricsOut, *traceOut); err != nil {
+		return err
+	}
+	return report.EmitAll(os.Stdout, tables, *format)
+}
+
+// writeObsOutputs merges per-trial observability data into the -metrics-out
+// time series and the -trace-out Chrome trace, one labelled series/track
+// per trial cell.
+func writeObsOutputs(results []attack.VMTrialResult, metricsOut, traceOut string) error {
+	if metricsOut == "" && traceOut == "" {
+		return nil
+	}
+	var points []obs.SeriesPoint
+	var tracks []obs.TraceTrack
+	for _, r := range results {
+		if r.Obs == nil {
+			continue
+		}
+		label := fmt.Sprintf("t%03d/%s/%s", r.Tenants, r.Target, r.Placement)
+		for _, p := range r.Obs.Series {
+			p.Job = label
+			points = append(points, p)
+		}
+		if len(r.Obs.Trace) > 0 {
+			tracks = append(tracks, obs.TraceTrack{Name: label, Events: r.Obs.Trace})
+		}
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(metricsOut, ".csv") {
+			err = obs.WriteSeriesCSV(f, points)
+		} else {
+			err = obs.WriteSeriesJSONL(f, points)
+		}
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, tracks); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitCSV(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

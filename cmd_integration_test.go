@@ -5,12 +5,14 @@ package ptguard
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCommandLineTools(t *testing.T) {
@@ -124,6 +126,18 @@ func TestCommandLineTools(t *testing.T) {
 				"-timeout", "30s", "-quiet"},
 			want: []string{"Crash-safe soak", "worker.panic", "byte-identical"},
 		},
+		{
+			bin: "ptguard-vm",
+			args: []string{"-tenants", "4", "-placements", "none,both",
+				"-targets", "guest,stage2", "-trials", "1", "-pages", "8",
+				"-acts", "4096", "-workers", "2", "-quiet"},
+			want: []string{"Inter-VM", "guest", "stage2", "coverage %", "defended"},
+		},
+		{
+			bin:  "ptguard-vm",
+			args: []string{"-list"},
+			want: []string{"none", "guest", "stage2", "both"},
+		},
 	}
 	for _, tt := range tests {
 		name := tt.bin + strings.Join(tt.args, "_")
@@ -184,6 +198,43 @@ func TestCommandLineTools(t *testing.T) {
 			if corrupted == "0" {
 				t.Errorf("%s: cycle finished without exercising journal corruption", point)
 			}
+		}
+	})
+
+	// Inter-VM kill-resume determinism: SIGKILL a journaled ptguard-vm
+	// campaign mid-run, resume it against the same journal, and require
+	// output byte-identical to an uninterrupted run with the same seed.
+	// (If the first leg finishes before the kill lands, the resume leg is a
+	// pure journal replay and the check still holds.)
+	t.Run("ptguard-vm_kill_resume_determinism", func(t *testing.T) {
+		dir := t.TempDir()
+		vmArgs := func(journal string) []string {
+			return []string{"-seed", "7", "-tenants", "4,6",
+				"-targets", "guest,stage2", "-trials", "2", "-pages", "8",
+				"-workers", "2", "-quiet", "-format", "csv",
+				"-journal", journal}
+		}
+		ref, err := exec.Command(filepath.Join(binDir, "ptguard-vm"),
+			vmArgs(filepath.Join(dir, "ref.jsonl"))...).Output()
+		if err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+
+		journal := filepath.Join(dir, "resume.jsonl")
+		first := exec.Command(filepath.Join(binDir, "ptguard-vm"), vmArgs(journal)...)
+		if err := first.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(400 * time.Millisecond)
+		_ = first.Process.Kill()
+		_ = first.Wait()
+
+		out, err := exec.Command(filepath.Join(binDir, "ptguard-vm"), vmArgs(journal)...).Output()
+		if err != nil {
+			t.Fatalf("resumed run: %v", err)
+		}
+		if !bytes.Equal(out, ref) {
+			t.Errorf("resumed report diverged from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", out, ref)
 		}
 	})
 

@@ -250,7 +250,10 @@ func (w *World) Observe(o *obs.Observer) { w.Ctrl.SetObserver(o) }
 
 // PublishObs feeds the sandbox's controller/guard/device counters into the
 // metric registry (a nil registry is a no-op).
-func (w *World) PublishObs(r *obs.Registry) { w.Ctrl.PublishObs(r) }
+func (w *World) PublishObs(r *obs.Registry) {
+	w.Ctrl.PublishObs(r)
+	w.Walker.PublishObs(r)
+}
 
 // Shootdown models the TLB/MMU-cache shootdown the OS performs after
 // modifying page tables (e.g. the §IV-G row-remap): the walker's cached

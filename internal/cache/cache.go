@@ -78,6 +78,13 @@ type Result struct {
 	Writeback uint64
 	// WBValid marks Writeback as meaningful.
 	WBValid bool
+	// Evicted, when EvValid, is the line address of the victim (clean or
+	// dirty) displaced by this access. Callers holding side state keyed by
+	// cached addresses (the MMU walkers' entry-value maps) use it to trim
+	// that state in lockstep with the cache.
+	Evicted uint64
+	// EvValid marks Evicted as meaningful.
+	EvValid bool
 }
 
 // Access looks up addr (installing it on miss) and returns hit/writeback
@@ -113,6 +120,8 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	res := Result{}
 	if set[victim].valid {
 		c.evictions++
+		res.Evicted = set[victim].lineAddr * pte.LineBytes
+		res.EvValid = true
 		if set[victim].dirty {
 			c.writebacks++
 			res.Writeback = set[victim].lineAddr * pte.LineBytes

@@ -14,6 +14,7 @@ import (
 const DefaultEntries = 64
 
 type tlbEntry struct {
+	vmid    int // address-space tag: 0 for the bare-metal OS, per-VM otherwise
 	vpn     uint64
 	pfn     uint64
 	span    uint64 // pages covered: 1 for 4 KB entries, 512 for 2 MB
@@ -43,11 +44,17 @@ func New(entries int) (*TLB, error) {
 
 // Lookup translates a virtual page number; ok is false on a TLB miss.
 // Spanned (huge-page) entries translate every page they cover.
-func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
+func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) { return t.LookupVM(0, vpn) }
+
+// LookupVM translates a virtual page number within the given VM's address
+// space; ok is false on a TLB miss. Entries are VMID-tagged (like hardware
+// VPID/ASID tags), so translations of different tenants coexist without
+// cross-VM flushes — and never alias.
+func (t *TLB) LookupVM(vmid int, vpn uint64) (pfn uint64, ok bool) {
 	t.clock++
 	for i := range t.entries {
 		e := &t.entries[i]
-		if e.valid && vpn-e.vpn < e.span {
+		if e.valid && e.vmid == vmid && vpn-e.vpn < e.span {
 			e.lastUse = t.clock
 			t.hits++
 			return e.pfn + (vpn - e.vpn), true
@@ -58,11 +65,18 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 }
 
 // Insert installs a 4 KB translation, evicting the LRU entry if full.
-func (t *TLB) Insert(vpn, pfn uint64) { t.InsertSpan(vpn, pfn, 1) }
+func (t *TLB) Insert(vpn, pfn uint64) { t.InsertSpanVM(0, vpn, pfn, 1) }
+
+// InsertVM installs a 4 KB translation tagged with the VM's VMID.
+func (t *TLB) InsertVM(vmid int, vpn, pfn uint64) { t.InsertSpanVM(vmid, vpn, pfn, 1) }
 
 // InsertSpan installs a translation covering span consecutive pages (512
 // for a 2 MB huge-page entry), evicting the LRU entry if full.
-func (t *TLB) InsertSpan(vpn, pfn, span uint64) {
+func (t *TLB) InsertSpan(vpn, pfn, span uint64) { t.InsertSpanVM(0, vpn, pfn, span) }
+
+// InsertSpanVM installs a VMID-tagged translation covering span consecutive
+// pages, evicting the LRU entry if full.
+func (t *TLB) InsertSpanVM(vmid int, vpn, pfn, span uint64) {
 	if span == 0 {
 		span = 1
 	}
@@ -77,13 +91,24 @@ func (t *TLB) InsertSpan(vpn, pfn, span uint64) {
 			victim = i
 		}
 	}
-	t.entries[victim] = tlbEntry{vpn: vpn, pfn: pfn, span: span, valid: true, lastUse: t.clock}
+	t.entries[victim] = tlbEntry{vmid: vmid, vpn: vpn, pfn: pfn, span: span, valid: true, lastUse: t.clock}
 }
 
 // Flush invalidates every entry (context switch / shootdown).
 func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i] = tlbEntry{}
+	}
+}
+
+// FlushVM invalidates only the given VM's entries (the targeted shootdown a
+// hypervisor issues after rewriting one tenant's tables); other tenants'
+// translations stay warm.
+func (t *TLB) FlushVM(vmid int) {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].vmid == vmid {
+			t.entries[i] = tlbEntry{}
+		}
 	}
 }
 

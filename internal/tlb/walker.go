@@ -74,18 +74,30 @@ func (w *Walker) Walk(cr3, vaddr uint64) WalkResult {
 		var entry pte.Entry
 		// Upper levels consult the MMU cache; the leaf level always
 		// goes to the memory system (it is what the TLB caches).
-		if level < Levels-1 && w.mmu.Access(ea, false).Hit {
-			if v, ok := w.values[ea]; ok {
+		if level < Levels-1 {
+			acc := w.mmu.Access(ea, false)
+			if acc.EvValid {
+				// Keep the value map in lockstep with the cache:
+				// without this trim it grows one entry per distinct
+				// table line ever walked, a real leak on
+				// days-of-uptime fleet runs.
+				dropLineValues(w.values, acc.Evicted)
+			}
+			if v, ok := w.values[ea]; acc.Hit && ok {
 				w.mmuHits++
 				entry = v
 			} else {
-				// Presence without a value (stale after an
-				// invalidation); fall through to memory.
+				// A hit without a value is presence gone stale after
+				// an invalidation; either way the entry comes from
+				// memory, and a fresh install records its value.
 				e, ok := w.fetchEntry(ea, &res)
 				if !ok {
 					return res
 				}
 				entry = e
+				if !acc.Hit {
+					w.values[ea] = entry
+				}
 			}
 		} else {
 			e, ok := w.fetchEntry(ea, &res)
@@ -93,9 +105,6 @@ func (w *Walker) Walk(cr3, vaddr uint64) WalkResult {
 				return res
 			}
 			entry = e
-			if level < Levels-1 {
-				w.values[ea] = entry
-			}
 		}
 		if !entry.Present() {
 			res.Fault = true
@@ -133,6 +142,20 @@ func (w *Walker) fetchEntry(ea uint64, res *WalkResult) (pte.Entry, bool) {
 	}
 	return line[ea/8%pte.PTEsPerLine], true
 }
+
+// dropLineValues deletes the entry values backing one evicted cacheline:
+// the MMU cache tracks 64-byte lines while the value map is keyed by 8-byte
+// entry addresses, so an eviction clears all eight slots.
+func dropLineValues(values map[uint64]pte.Entry, lineAddr uint64) {
+	for i := 0; i < pte.PTEsPerLine; i++ {
+		delete(values, lineAddr+uint64(i*8))
+	}
+}
+
+// CachedValues returns the number of entry values backing MMU-cache
+// presence: bounded by the cache's line capacity, a bound the leak
+// regression test pins.
+func (w *Walker) CachedValues() int { return len(w.values) }
 
 // InvalidateEntry drops a cached upper-level entry (e.g. after the OS
 // rewrites a page table).

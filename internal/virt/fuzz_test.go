@@ -1,0 +1,58 @@
+package virt
+
+import (
+	"testing"
+
+	"ptguard/internal/dram"
+	"ptguard/internal/pte"
+	"ptguard/internal/stats"
+)
+
+// FuzzNestedWalk drives random guest-virtual addresses and random table
+// corruption through the 2-D walker and pins its safety contract: a walk
+// never panics whatever garbage the tables hold, and a walk that raised an
+// integrity exception never yields a usable host frame.
+func FuzzNestedWalk(f *testing.F) {
+	f.Add(uint64(GuestVBase), uint64(0), uint8(0))
+	f.Add(uint64(GuestVBase)+pte.PageSize, uint64(1), uint8(3))
+	f.Add(uint64(0), uint64(42), uint8(255))
+	f.Add(^uint64(0), uint64(7), uint8(16))
+	f.Fuzz(func(t *testing.T, vaddr, corrSeed uint64, nflips uint8) {
+		h, err := NewHost(Config{Tenants: 2, PagesPerVM: 4, Placement: PlacementBoth, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt random bits of random victim table lines, both layers.
+		var lines []uint64
+		for vmid := 0; vmid < 2; vmid++ {
+			g, _ := h.GuestTableLines(vmid)
+			s, _ := h.Stage2TableLines(vmid)
+			lines = append(lines, g...)
+			lines = append(lines, s...)
+		}
+		hammer, err := dram.NewHammerer(h.Dev, dram.HammerConfig{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(corrSeed)
+		for i := 0; i < int(nflips); i++ {
+			addr := lines[rng.Uint64()%uint64(len(lines))]
+			hammer.FlipLineBits(addr, []int{int(rng.Uint64() % (pte.LineBytes * 8))})
+		}
+		h.FlushAll()
+		tr, err := h.Translate(0, vaddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.CheckFailed && (tr.OK || tr.HostPFN != 0) {
+			t.Fatalf("integrity exception yielded a translation: %+v", tr)
+		}
+		if tr.OK && tr.CheckFailed {
+			t.Fatalf("walk both OK and check-failed: %+v", tr)
+		}
+		// A second walk must also be safe (MMU caches now warm/poisoned).
+		if tr2, _ := h.Translate(0, vaddr); tr2.CheckFailed && tr2.HostPFN != 0 {
+			t.Fatalf("second walk leaked a PFN past a failed check: %+v", tr2)
+		}
+	})
+}

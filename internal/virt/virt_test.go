@@ -1,0 +1,259 @@
+package virt
+
+import (
+	"testing"
+
+	"ptguard/internal/dram"
+	"ptguard/internal/pte"
+	"ptguard/internal/tlb"
+)
+
+func TestNestedTranslationMatchesShadow(t *testing.T) {
+	h, err := NewHost(Config{Tenants: 3, PagesPerVM: 8, Placement: PlacementBoth, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vmid := 0; vmid < h.Tenants(); vmid++ {
+		for i := 0; i < 8; i++ {
+			vaddr := uint64(GuestVBase) + uint64(i)*pte.PageSize
+			want, ok := h.SoftTranslate(vmid, vaddr)
+			if !ok {
+				t.Fatalf("vm %d page %d: no shadow translation", vmid, i)
+			}
+			tr, terr := h.Translate(vmid, vaddr)
+			if terr != nil {
+				t.Fatal(terr)
+			}
+			if !tr.OK || tr.HostPFN != want {
+				t.Fatalf("vm %d page %d: Translate = %+v, want host pfn %#x", vmid, i, tr, want)
+			}
+			if tr.MemAccesses > tlb.MaxNestedAccesses {
+				t.Fatalf("vm %d page %d: %d accesses exceeds the 2-D bound %d",
+					vmid, i, tr.MemAccesses, tlb.MaxNestedAccesses)
+			}
+			again, _ := h.Translate(vmid, vaddr)
+			if !again.TLBHit || again.HostPFN != want {
+				t.Fatalf("vm %d page %d: second translate = %+v, want TLB hit", vmid, i, again)
+			}
+		}
+	}
+	// Distinct tenants must resolve the same guest-virtual page to
+	// distinct host frames.
+	a, _ := h.SoftTranslate(0, GuestVBase)
+	b, _ := h.SoftTranslate(1, GuestVBase)
+	if a == b {
+		t.Fatalf("tenants 0 and 1 share host frame %#x", a)
+	}
+}
+
+func TestShootdownIsPerVM(t *testing.T) {
+	h, err := NewHost(Config{Tenants: 2, PagesPerVM: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vmid := 0; vmid < 2; vmid++ {
+		if _, err := h.Translate(vmid, GuestVBase); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Shootdown(0); err != nil {
+		t.Fatal(err)
+	}
+	tr1, _ := h.Translate(1, GuestVBase)
+	if !tr1.TLBHit {
+		t.Fatal("vm1's TLB entry did not survive vm0's shootdown")
+	}
+	tr0, _ := h.Translate(0, GuestVBase)
+	if tr0.TLBHit {
+		t.Fatal("vm0's TLB entry survived its own shootdown")
+	}
+	if !tr0.OK {
+		t.Fatalf("vm0 re-walk failed: %+v", tr0)
+	}
+}
+
+func TestColdWalkAccessAccounting(t *testing.T) {
+	h, err := NewHost(Config{Tenants: 1, PagesPerVM: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FlushAll()
+	tr, err := h.Translate(0, GuestVBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.OK {
+		t.Fatalf("cold translate failed: %+v", tr)
+	}
+	st := h.Walker.Stats()
+	if st.GuestAccesses != 4 {
+		t.Fatalf("cold walk made %d guest accesses, want 4 (one per level)", st.GuestAccesses)
+	}
+	// The first stage-2 walk is cold (4 accesses); the later ones hit the
+	// stage-2 MMU cache for upper levels. 5 stage-2 walks in total.
+	if st.S2Accesses < 5+3 || st.S2Accesses > 5*4 {
+		t.Fatalf("cold walk made %d stage-2 accesses, want within [8, 20]", st.S2Accesses)
+	}
+	if tr.MemAccesses != int(st.GuestAccesses+st.S2Accesses) {
+		t.Fatalf("result accesses %d != walker total %d", tr.MemAccesses, st.GuestAccesses+st.S2Accesses)
+	}
+	if st.MaxAccesses > tlb.MaxNestedAccesses {
+		t.Fatalf("max accesses %d exceeds bound %d", st.MaxAccesses, tlb.MaxNestedAccesses)
+	}
+}
+
+// flipGuestLeafPFN flips the low PFN bit of the victim's guest leaf entry
+// for vaddr, in DRAM (the shadow tables stay pristine).
+func flipGuestLeafPFN(t *testing.T, h *Host, vmid int, vaddr uint64) {
+	t.Helper()
+	vm := h.VMs[vmid]
+	gea, ok := vm.GuestPT.LeafEntryAddr(vaddr)
+	if !ok {
+		t.Fatal("victim vaddr not mapped")
+	}
+	hea, ok := vm.hostAddr(gea)
+	if !ok {
+		t.Fatal("guest leaf table has no stage-2 mapping")
+	}
+	hammer, err := dram.NewHammerer(h.Dev, dram.HammerConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryIdx := int(hea / 8 % pte.PTEsPerLine)
+	hammer.FlipLineBits(hea&^uint64(pte.LineBytes-1), []int{entryIdx*64 + pte.PageShift})
+}
+
+// flipStage2LeafPFN flips the low PFN bit of the stage-2 leaf entry mapping
+// the victim's data page.
+func flipStage2LeafPFN(t *testing.T, h *Host, vmid int, vaddr uint64) {
+	t.Helper()
+	vm := h.VMs[vmid]
+	gpfn, ok := vm.GuestPT.Translate(vaddr)
+	if !ok {
+		t.Fatal("victim vaddr not mapped")
+	}
+	ea, ok := vm.Stage2.LeafEntryAddr(gpfn << pte.PageShift)
+	if !ok {
+		t.Fatal("victim gpa not stage-2 mapped")
+	}
+	hammer, err := dram.NewHammerer(h.Dev, dram.HammerConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryIdx := int(ea / 8 % pte.PTEsPerLine)
+	hammer.FlipLineBits(ea&^uint64(pte.LineBytes-1), []int{entryIdx*64 + pte.PageShift})
+}
+
+func TestGuardPlacementMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		placement    Placement
+		target       string // which layer gets corrupted
+		wantDetected bool
+		wantStage2   bool
+	}{
+		{PlacementNone, "guest", false, false},
+		{PlacementNone, "stage2", false, false},
+		{PlacementGuest, "guest", true, false},
+		{PlacementGuest, "stage2", false, false},
+		{PlacementStage2, "guest", false, false},
+		{PlacementStage2, "stage2", true, true},
+		{PlacementBoth, "guest", true, false},
+		{PlacementBoth, "stage2", true, true},
+	} {
+		t.Run(string(tc.placement)+"/"+tc.target, func(t *testing.T) {
+			h, err := NewHost(Config{Tenants: 2, PagesPerVM: 4, Placement: tc.placement, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const victim = 1
+			if tc.target == "guest" {
+				flipGuestLeafPFN(t, h, victim, GuestVBase)
+			} else {
+				flipStage2LeafPFN(t, h, victim, GuestVBase)
+			}
+			h.FlushAll()
+			want, _ := h.SoftTranslate(victim, GuestVBase)
+			tr, err := h.Translate(victim, GuestVBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.CheckFailed != tc.wantDetected {
+				t.Fatalf("CheckFailed = %v, want %v (%+v)", tr.CheckFailed, tc.wantDetected, tr)
+			}
+			if tc.wantDetected {
+				if tr.OK || tr.HostPFN != 0 {
+					t.Fatalf("detected walk still yielded a PFN: %+v", tr)
+				}
+				if tr.Stage2 != tc.wantStage2 {
+					t.Fatalf("Stage2 = %v, want %v", tr.Stage2, tc.wantStage2)
+				}
+			} else if tr.OK && tr.HostPFN == want {
+				t.Fatal("flip had no effect: translation still clean")
+			}
+			// The untouched tenant must stay fully functional.
+			other, _ := h.SoftTranslate(0, GuestVBase)
+			tr0, err := h.Translate(0, GuestVBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tr0.OK || tr0.HostPFN != other {
+				t.Fatalf("bystander tenant broken: %+v want %#x", tr0, other)
+			}
+		})
+	}
+}
+
+func TestHostDeterminism(t *testing.T) {
+	build := func() *Host {
+		h, err := NewHost(Config{Tenants: 5, PagesPerVM: 6, Placement: PlacementBoth, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := build(), build()
+	for vmid := 0; vmid < 5; vmid++ {
+		ga, _ := a.GuestTableLines(vmid)
+		gb, _ := b.GuestTableLines(vmid)
+		if len(ga) != len(gb) {
+			t.Fatalf("vm %d: guest line counts differ: %d vs %d", vmid, len(ga), len(gb))
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("vm %d: guest line %d differs: %#x vs %#x", vmid, i, ga[i], gb[i])
+			}
+		}
+		sa, _ := a.Stage2TableLines(vmid)
+		sb, _ := b.Stage2TableLines(vmid)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("vm %d: stage-2 line %d differs", vmid, i)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			va := uint64(GuestVBase) + uint64(i)*pte.PageSize
+			pa, _ := a.SoftTranslate(vmid, va)
+			pb, _ := b.SoftTranslate(vmid, va)
+			if pa != pb {
+				t.Fatalf("vm %d page %d: host frames differ: %#x vs %#x", vmid, i, pa, pb)
+			}
+		}
+	}
+}
+
+func TestPlacementParsing(t *testing.T) {
+	for _, name := range PlacementNames() {
+		if _, err := ParsePlacement(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParsePlacement("ept"); err == nil {
+		t.Fatal("ParsePlacement accepted an unknown name")
+	}
+	if !PlacementBoth.GuestProtected() || !PlacementBoth.Stage2Protected() {
+		t.Fatal("both must protect both layers")
+	}
+	if PlacementGuest.Stage2Protected() || PlacementStage2.GuestProtected() {
+		t.Fatal("single placements must protect exactly one layer")
+	}
+}
