@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench bench-json bench-json-smoke
+.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench bench-json bench-json-smoke bench-compare
 
 # ci is the gate every change must pass.
 ci: vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench-json-smoke
@@ -29,6 +29,7 @@ fuzz-smoke:
 	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalLoad -fuzztime=5s
 	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalCorruption -fuzztime=5s
 	$(GO) test ./internal/virt -run=^$$ -fuzz=FuzzNestedWalk -fuzztime=5s
+	$(GO) test ./internal/mac -run=^$$ -fuzz=FuzzBatchMAC -fuzztime=5s
 
 # chaos-smoke: one soak round over the full fault-point catalog — real
 # process kills, torn journal writes, fsync/disk faults, worker panics, hung
@@ -63,6 +64,12 @@ bench:
 # run-over-run (compare two baselines with ptguard-bench -compare).
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/ptguard-bench -out .
+
+# bench-compare diffs the two newest committed baselines and fails when any
+# shared benchmark's ns/op regressed by more than 10% (tune with
+# `ptguard-bench -threshold`).
+bench-compare:
+	$(GO) run ./cmd/ptguard-bench -compare $$(ls BENCH_*.json | sort -t_ -k2 -n | tail -2 | paste -sd, -)
 
 # bench-json-smoke proves the pipeline stays parseable without paying for
 # full timings: 1-iteration run, baseline written to a throwaway dir.

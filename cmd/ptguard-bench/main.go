@@ -27,10 +27,11 @@ func run() error {
 	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
 	out := flag.String("out", ".", "directory to write the next BENCH_<n>.json into")
 	compare := flag.String("compare", "", "two BENCH_*.json files, comma-separated: print before->after table instead of ingesting")
+	threshold := flag.Float64("threshold", 10, "with -compare: fail (exit non-zero) when any shared benchmark's ns/op regresses by more than this percentage")
 	flag.Parse()
 
 	if *compare != "" {
-		return runCompare(*compare)
+		return runCompare(*compare, *threshold)
 	}
 
 	r := os.Stdin
@@ -77,7 +78,7 @@ func nextPath(dir string) (string, error) {
 	}
 }
 
-func runCompare(spec string) error {
+func runCompare(spec string, thresholdPct float64) error {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 {
 		return fmt.Errorf("-compare wants before,after; got %q", spec)
@@ -96,5 +97,12 @@ func runCompare(spec string) error {
 		files[i] = parsed
 	}
 	fmt.Print(benchfmt.Compare(files[0], files[1]))
-	return nil
+	regs := benchfmt.Regressions(files[0], files[1], thresholdPct)
+	if len(regs) == 0 {
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION %s: %.4g -> %.4g ns/op (+%.1f%%)\n", r.Name, r.Before, r.After, r.Pct)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed more than %g%% ns/op", len(regs), thresholdPct)
 }

@@ -112,14 +112,14 @@ func NewWorldWith(cfg WorldConfig) (*World, error) {
 			return nil, merr
 		}
 	}
-	var flushErr error
+	var flushAddrs []uint64
+	var flushLines []pte.Line
 	tables.Lines(func(addr uint64, line pte.Line) {
-		if _, werr := ctrl.WriteLine(addr, line); werr != nil && flushErr == nil {
-			flushErr = werr
-		}
+		flushAddrs = append(flushAddrs, addr)
+		flushLines = append(flushLines, line)
 	})
-	if flushErr != nil {
-		return nil, flushErr
+	if _, werr := ctrl.WriteLinesBatch(flushAddrs, flushLines); werr != nil {
+		return nil, werr
 	}
 	hcfg := cfg.Hammer
 	if hcfg.Seed == 0 {

@@ -146,14 +146,14 @@ func RunCorrection(cfg CorrectionConfig) (CorrectionResult, error) {
 		if serr != nil {
 			return CorrectionResult{}, serr
 		}
-		var flushErr error
+		var flushAddrs []uint64
+		var flushLines []pte.Line
 		tables.Lines(func(addr uint64, line pte.Line) {
-			if _, werr := ctrl.WriteLine(addr, line); werr != nil && flushErr == nil {
-				flushErr = werr
-			}
+			flushAddrs = append(flushAddrs, addr)
+			flushLines = append(flushLines, line)
 		})
-		if flushErr != nil {
-			return CorrectionResult{}, flushErr
+		if _, werr := ctrl.WriteLinesBatch(flushAddrs, flushLines); werr != nil {
+			return CorrectionResult{}, werr
 		}
 		tables.LeafLines(func(addr uint64, archLine pte.Line) {
 			pool = append(pool, pooled{addr: addr, arch: archLine, protected: dev.ReadLine(addr)})

@@ -103,6 +103,11 @@ type VMTrialResult struct {
 	Intact int
 	// MaxWalkAccesses is the costliest 2-D walk observed (≤ 24).
 	MaxWalkAccesses int
+	// TableAudit is the post-hammer batch integrity audit of the victim's
+	// stored table lines in both layers (virt.Host.AuditTables), taken
+	// before the walk classification touches — and possibly corrects — the
+	// tables: Dirty counts lines a guarded layer would flag on a walk.
+	TableAudit virt.TablesAudit
 	// Obs carries the trial's observability data when the config asked for
 	// it (metrics, time series, trace).
 	Obs *obs.RunMetrics `json:"obs,omitempty"`
@@ -210,6 +215,13 @@ func RunVMTrial(cfg VMTrialConfig) (VMTrialResult, error) {
 	// hypervisor's next scheduling tick would.
 	host.FlushAll()
 
+	// Batch-audit the victim's stored tables before any walk can correct
+	// them: the guard-side ground truth the per-walk classification below is
+	// compared against.
+	if res.TableAudit, err = host.AuditTables(victim); err != nil {
+		return VMTrialResult{}, err
+	}
+
 	for i := 0; i < host.VMs[victim].Pages(); i++ {
 		vaddr := uint64(virt.GuestVBase) + uint64(i)*pte.PageSize
 		want, ok := host.SoftTranslate(victim, vaddr)
@@ -244,6 +256,10 @@ func RunVMTrial(cfg VMTrialConfig) (VMTrialResult, error) {
 		host.PublishObs(reg)
 		reg.SetCounter("attack.vm.rows_hammered", uint64(res.RowsHammered))
 		reg.SetCounter("attack.vm.rows_flipped", uint64(res.RowsFlipped))
+		reg.SetCounter("attack.vm.audit_guest_lines", uint64(res.TableAudit.Guest.Lines))
+		reg.SetCounter("attack.vm.audit_guest_dirty", uint64(res.TableAudit.Guest.Dirty))
+		reg.SetCounter("attack.vm.audit_stage2_lines", uint64(res.TableAudit.Stage2.Lines))
+		reg.SetCounter("attack.vm.audit_stage2_dirty", uint64(res.TableAudit.Stage2.Dirty))
 		observer.Snapshot(observer.Now(), uint64(res.WalksChecked))
 		res.Obs = observer.RunMetrics(true)
 	}

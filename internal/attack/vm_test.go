@@ -154,7 +154,8 @@ func TestVMTrialPublishesObs(t *testing.T) {
 		t.Fatal("trial with Obs set returned no RunMetrics")
 	}
 	for _, key := range []string{"walker2d.walks", "virt.guest.reads", "virt.stage2.reads",
-		"tlb.misses", "attack.vm.rows_hammered"} {
+		"tlb.misses", "attack.vm.rows_hammered",
+		"attack.vm.audit_guest_lines", "attack.vm.audit_stage2_dirty"} {
 		if _, ok := r.Obs.Counters[key]; !ok {
 			t.Fatalf("metrics missing %q after trial", key)
 		}
@@ -169,6 +170,34 @@ func TestVMTrialPublishesObs(t *testing.T) {
 	}
 	if r2.Obs != nil {
 		t.Fatal("trial without Obs returned RunMetrics")
+	}
+}
+
+func TestVMTrialTableAudit(t *testing.T) {
+	var dirty, detected int
+	for seed := uint64(0); seed < 6; seed++ {
+		r, err := RunVMTrial(VMTrialConfig{
+			Tenants: 4, PagesPerVM: 8, Placement: "guest", Target: VMTargetGuest, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.TableAudit.Guest.Audited || r.TableAudit.Stage2.Audited {
+			t.Fatalf("seed %d: audit flags %+v do not match placement guest", seed, r.TableAudit)
+		}
+		if r.TableAudit.Guest.Lines == 0 {
+			t.Fatalf("seed %d: guest audit swept no lines", seed)
+		}
+		// Every detected walk read a table line whose MAC check failed; the
+		// pre-walk audit must have seen that line dirty.
+		if r.Detected > 0 && r.TableAudit.Guest.Dirty == 0 {
+			t.Fatalf("seed %d: %d detections but the table audit saw no dirty lines", seed, r.Detected)
+		}
+		dirty += r.TableAudit.Guest.Dirty
+		detected += r.Detected
+	}
+	if dirty == 0 || detected == 0 {
+		t.Fatalf("across 6 seeds: %d dirty lines, %d detections; knobs too weak to exercise the audit", dirty, detected)
 	}
 }
 

@@ -166,6 +166,39 @@ func Decode(r io.Reader) (*File, error) {
 	return &f, nil
 }
 
+// Regression is one benchmark whose ns/op worsened past a threshold between
+// two runs.
+type Regression struct {
+	// Name is the (suffix-stripped) benchmark name.
+	Name string
+	// Before and After are the ns/op values of the two runs.
+	Before, After float64
+	// Pct is the ns/op increase in percent of the before value.
+	Pct float64
+}
+
+// Regressions returns the benchmarks present in both runs whose ns/op grew
+// by more than thresholdPct percent, in after-file order. Benchmarks missing
+// from either file, or without a positive ns/op in both, are skipped — the
+// gate judges only what both baselines measured.
+func Regressions(before, after *File, thresholdPct float64) []Regression {
+	var out []Regression
+	for _, ar := range after.Results {
+		br, ok := before.Lookup(ar.Name)
+		if !ok {
+			continue
+		}
+		bv, av := br.NsPerOp(), ar.NsPerOp()
+		if bv <= 0 || av <= 0 {
+			continue
+		}
+		if pct := 100 * (av - bv) / bv; pct > thresholdPct {
+			out = append(out, Regression{Name: ar.Name, Before: bv, After: av, Pct: pct})
+		}
+	}
+	return out
+}
+
 // Compare renders a name-aligned comparison of shared metrics between two
 // runs ("before" and "after"), one line per benchmark and metric, with the
 // after/before ratio. Benchmarks present in only one file are skipped.

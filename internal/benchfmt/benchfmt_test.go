@@ -105,3 +105,36 @@ func TestCompare(t *testing.T) {
 		t.Errorf("unshared benchmarks leaked into:\n%s", out)
 	}
 }
+
+func TestRegressions(t *testing.T) {
+	before, err := Parse(strings.NewReader(
+		"BenchmarkFast-8 10 1000 ns/op\n" +
+			"BenchmarkSlow-8 10 1000 ns/op\n" +
+			"BenchmarkEdge-8 10 1000 ns/op\n" +
+			"BenchmarkGone-8 10 1000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Parse(strings.NewReader(
+		"BenchmarkFast-8 10 500 ns/op\n" + // improved: never flagged
+			"BenchmarkSlow-8 10 1250 ns/op\n" + // +25%
+			"BenchmarkEdge-8 10 1100 ns/op\n" + // exactly +10%: not past the threshold
+			"BenchmarkNew-8 10 9999 ns/op\n")) // unshared: skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(before, after, 10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
+		t.Fatalf("Regressions = %+v, want exactly BenchmarkSlow", regs)
+	}
+	if regs[0].Pct != 25 || regs[0].Before != 1000 || regs[0].After != 1250 {
+		t.Errorf("regression detail = %+v", regs[0])
+	}
+	if regs := Regressions(before, after, 30); len(regs) != 0 {
+		t.Errorf("30%% threshold still flags %+v", regs)
+	}
+	// A tighter threshold catches the edge case too.
+	if regs := Regressions(before, after, 5); len(regs) != 2 {
+		t.Errorf("5%% threshold flags %+v, want 2", regs)
+	}
+}

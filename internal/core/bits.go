@@ -13,6 +13,12 @@ import (
 // MAC field of Fig. 2. Taking a caller-owned buffer keeps the read/write
 // hot paths allocation-free; a 64-byte buffer always suffices (64 bits per
 // PTE x 8 PTEs = 64 bytes at most).
+// The gather/scatter loops walk the mask by runs of consecutive set bits,
+// not bit by bit: the real masks are a handful of contiguous runs (the
+// x86_64 MAC field is one 12-bit run per PTE), so each PTE costs a few
+// shift-and-mask steps instead of one iteration per selected bit. Runs are
+// capped at 56 bits so a run shifted by the stream's intra-byte offset
+// (<= 7) still fits one uint64; longer runs simply take two steps.
 func gatherFieldInto(buf *[pte.LineBytes]byte, line pte.Line, mask uint64) int {
 	n := bits.OnesCount64(mask) * pte.PTEsPerLine
 	nb := (n + 7) / 8
@@ -22,13 +28,27 @@ func gatherFieldInto(buf *[pte.LineBytes]byte, line pte.Line, mask uint64) int {
 	pos := 0
 	for _, e := range line {
 		m := mask
+		v := uint64(e)
 		for m != 0 {
-			b := bits.TrailingZeros64(m)
-			m &= m - 1
-			if uint64(e)>>uint(b)&1 == 1 {
-				buf[pos/8] |= 1 << (pos % 8)
+			start := uint(bits.TrailingZeros64(m))
+			run := uint(bits.TrailingZeros64(^(m >> start)))
+			if run > 56 {
+				run = 56
 			}
-			pos++
+			chunk := v >> start & (1<<run - 1)
+			idx := pos >> 3
+			merged := chunk << (uint(pos) & 7)
+			for w := int(run + uint(pos)&7); w > 0; w -= 8 {
+				buf[idx] |= byte(merged)
+				merged >>= 8
+				idx++
+			}
+			pos += int(run)
+			if start+run >= 64 {
+				m = 0
+			} else {
+				m &^= 1<<(start+run) - 1
+			}
 		}
 	}
 	return nb
@@ -45,19 +65,36 @@ func gatherField(line pte.Line, mask uint64) []byte {
 }
 
 // scatterField writes the bit stream into the mask-selected bits of each
-// PTE, inverting gatherField.
+// PTE, inverting gatherField. Bits past the end of data read as zero.
 func scatterField(line pte.Line, mask uint64, data []byte) pte.Line {
 	pos := 0
 	for i, e := range line {
 		v := uint64(e) &^ mask
 		m := mask
 		for m != 0 {
-			b := bits.TrailingZeros64(m)
-			m &= m - 1
-			if pos/8 < len(data) && data[pos/8]>>(pos%8)&1 == 1 {
-				v |= 1 << uint(b)
+			start := uint(bits.TrailingZeros64(m))
+			run := uint(bits.TrailingZeros64(^(m >> start)))
+			if run > 56 {
+				run = 56
 			}
-			pos++
+			off := uint(pos) & 7
+			idx := pos >> 3
+			var chunk uint64
+			shift := uint(0)
+			for w := int(run + off); w > 0; w -= 8 {
+				if idx < len(data) {
+					chunk |= uint64(data[idx]) << shift
+				}
+				idx++
+				shift += 8
+			}
+			v |= chunk >> off & (1<<run - 1) << start
+			pos += int(run)
+			if start+run >= 64 {
+				m = 0
+			} else {
+				m &^= 1<<(start+run) - 1
+			}
 		}
 		line[i] = pte.Entry(v)
 	}

@@ -120,6 +120,15 @@ type Counters struct {
 	IdentifierSkips   uint64 // data reads that skipped MAC (no identifier)
 	ZeroFastPathHits  uint64 // MAC computations avoided via MAC-zero
 	CollisionsTracked uint64 // colliding lines inserted into the CTB
+
+	// Batch-engine telemetry (the perf path, not part of the mechanism):
+	// MACBatches counts sliced-kernel batch passes (OnWriteBatch/OnReadBatch
+	// calls that ran the MAC unit, plus correction-search candidate waves);
+	// BatchedMACComputes counts the MAC computations those passes served — a
+	// subset of WriteMACComputes+ReadMACComputes, splitting MAC traffic into
+	// batched vs scalar.
+	MACBatches         uint64
+	BatchedMACComputes uint64
 }
 
 // Guard is the PT-Guard logic instance at the memory controller.
@@ -136,6 +145,11 @@ type Guard struct {
 	// o, when set, receives MAC embed/verify/strip and CTB hit/insert/full
 	// trace events (nil = observability disabled; every emit is nil-safe).
 	o *obs.Observer
+	// batchHist records lines-per-batch for every sliced MAC pass (nil when
+	// observability is off; Observe on a nil histogram is a no-op).
+	batchHist *obs.Histogram
+	// bs is the reusable batch-marshalling scratch (see batch.go).
+	bs batchScratch
 }
 
 // NewGuard validates cfg and builds a Guard.
@@ -193,8 +207,16 @@ func (g *Guard) Counters() Counters { return g.ctr }
 func (g *Guard) ResetCounters() { g.ctr = Counters{} }
 
 // SetObserver attaches the observability subsystem; MAC and CTB activity
-// emit trace events through it. A nil observer detaches.
-func (g *Guard) SetObserver(o *obs.Observer) { g.o = o }
+// emit trace events through it, and the batch engine records its
+// lines-per-batch histogram. A nil observer detaches.
+func (g *Guard) SetObserver(o *obs.Observer) {
+	g.o = o
+	if r := o.Registry(); r != nil {
+		g.batchHist = r.Histogram("guard.batch_lines")
+	} else {
+		g.batchHist = nil
+	}
+}
 
 // PublishObs feeds the Guard counters into the metric registry under
 // "guard." (the obs snapshot path; a nil registry is a no-op).
@@ -216,6 +238,8 @@ func (g *Guard) PublishObs(r *obs.Registry) {
 	r.SetCounter("guard.identifier_skips", g.ctr.IdentifierSkips)
 	r.SetCounter("guard.zero_fastpath_hits", g.ctr.ZeroFastPathHits)
 	r.SetCounter("guard.collisions_tracked", g.ctr.CollisionsTracked)
+	r.SetCounter("guard.mac_batches", g.ctr.MACBatches)
+	r.SetCounter("guard.batched_mac_computes", g.ctr.BatchedMACComputes)
 	r.SetGauge("guard.ctb_occupancy", float64(g.ctb.len()))
 }
 
@@ -256,6 +280,15 @@ type WriteResult struct {
 // OnWrite processes a 64-byte line on its way to DRAM (§IV-B, §IV-D).
 // It returns ErrCTBFull if a colliding line cannot be tracked.
 func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
+	return g.onWrite(line, addr, nil)
+}
+
+// onWrite is the write path proper. pre, when non-nil, is the line's MAC as
+// precomputed by the batch engine (tag over maskedImage at addr — the one
+// value both the embed and the collision-check branches need); the path
+// still charges the same counters, so batched and scalar writes account
+// identically.
+func (g *Guard) onWrite(line pte.Line, addr uint64, pre *mac.Tag) (WriteResult, error) {
 	g.ctr.Writes++
 	f := g.cfg.Format
 
@@ -271,7 +304,12 @@ func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
 			tag = g.zeroTag
 			g.ctr.ZeroFastPathHits++
 		} else {
-			tag = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+			if pre != nil {
+				tag = *pre
+				g.ctr.BatchedMACComputes++
+			} else {
+				tag = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+			}
 			g.ctr.WriteMACComputes++
 			g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 			res.MACComputed = true
@@ -302,7 +340,13 @@ func (g *Guard) OnWrite(line pte.Line, addr uint64) (WriteResult, error) {
 	}
 	res := WriteResult{Line: line}
 	if collisionPossible {
-		tag := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+		var tag mac.Tag
+		if pre != nil {
+			tag = *pre
+			g.ctr.BatchedMACComputes++
+		} else {
+			tag = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+		}
 		g.ctr.WriteMACComputes++
 		g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 		res.MACComputed = true
@@ -347,6 +391,12 @@ type ReadResult struct {
 // request-bus bit set for page-table walks (§IV-F); such reads always
 // verify integrity. Regular reads identify and strip embedded MACs.
 func (g *Guard) OnRead(line pte.Line, addr uint64, isPTE bool) ReadResult {
+	return g.onRead(line, addr, isPTE, nil)
+}
+
+// onRead is the read path proper; pre, when non-nil, is the line's MAC as
+// precomputed by the batch engine.
+func (g *Guard) onRead(line pte.Line, addr uint64, isPTE bool, pre *mac.Tag) ReadResult {
 	g.ctr.Reads++
 	if g.ctb.contains(addr) {
 		// Colliding line: forward unmodified, no MAC check (§IV-D).
@@ -354,13 +404,13 @@ func (g *Guard) OnRead(line pte.Line, addr uint64, isPTE bool) ReadResult {
 		return ReadResult{Line: line}
 	}
 	if isPTE {
-		return g.readPTE(line, addr)
+		return g.readPTE(line, addr, pre)
 	}
-	return g.readData(line, addr)
+	return g.readData(line, addr, pre)
 }
 
 // readPTE is the page-table-walk path: verify, then strip (§IV-C).
-func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
+func (g *Guard) readPTE(line pte.Line, addr uint64, pre *mac.Tag) ReadResult {
 	g.ctr.PTEWalkChecks++
 	f := g.cfg.Format
 	var buf [pte.LineBytes]byte
@@ -375,7 +425,13 @@ func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
 		return ReadResult{Line: g.strip(line), Stripped: true}
 	}
 
-	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+	var computed mac.Tag
+	if pre != nil {
+		computed = *pre
+		g.ctr.BatchedMACComputes++
+	} else {
+		computed = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+	}
 	g.ctr.ReadMACComputes++
 	g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 	g.o.Emit("mac", "verify", uint64(g.cfg.MACLatencyCycles))
@@ -408,7 +464,7 @@ func (g *Guard) readPTE(line pte.Line, addr uint64) ReadResult {
 
 // readData is the regular-data path: detect an embedded MAC and remove it;
 // otherwise forward the line untouched (§IV-C, §IV-E).
-func (g *Guard) readData(line pte.Line, addr uint64) ReadResult {
+func (g *Guard) readData(line pte.Line, addr uint64, pre *mac.Tag) ReadResult {
 	f := g.cfg.Format
 	var buf [pte.LineBytes]byte
 	if g.cfg.OptIdentifier {
@@ -428,7 +484,13 @@ func (g *Guard) readData(line pte.Line, addr uint64) ReadResult {
 		g.o.Emit("mac", "zero", 0)
 		return ReadResult{Line: g.strip(line), Stripped: true}
 	}
-	computed := g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+	var computed mac.Tag
+	if pre != nil {
+		computed = *pre
+		g.ctr.BatchedMACComputes++
+	} else {
+		computed = g.auth.Compute(maskedImage(line, f.ProtectedMask), addr)
+	}
 	g.ctr.ReadMACComputes++
 	g.ctr.ChunkEncrypts += uint64(g.auth.Chunks())
 	g.o.Emit("mac", "verify", uint64(g.cfg.MACLatencyCycles))

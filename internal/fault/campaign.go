@@ -159,14 +159,14 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		if serr != nil {
 			return CampaignResult{}, serr
 		}
-		var flushErr error
+		var flushAddrs []uint64
+		var flushLines []pte.Line
 		tables.Lines(func(addr uint64, line pte.Line) {
-			if _, werr := ctrl.WriteLine(addr, line); werr != nil && flushErr == nil {
-				flushErr = werr
-			}
+			flushAddrs = append(flushAddrs, addr)
+			flushLines = append(flushLines, line)
 		})
-		if flushErr != nil {
-			return CampaignResult{}, flushErr
+		if _, werr := ctrl.WriteLinesBatch(flushAddrs, flushLines); werr != nil {
+			return CampaignResult{}, werr
 		}
 		tables.LeafLines(func(addr uint64, archLine pte.Line) {
 			oracle.Expect(addr, archLine)
@@ -177,6 +177,23 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	}
 	if len(pool) == 0 {
 		return CampaignResult{}, errors.New("fault: empty line pool")
+	}
+	// Ground-truth sanity: before any fault is injected, every pooled line
+	// must batch-audit clean — a dirty line here means the pool snapshot and
+	// the stored state already disagree, which would corrupt every verdict
+	// the oracle hands out below.
+	auditAddrs := make([]uint64, len(pool))
+	auditLines := make([]pte.Line, len(pool))
+	for i, entry := range pool {
+		auditAddrs[i] = entry.addr
+		auditLines[i] = entry.protected
+	}
+	auditOK := make([]bool, len(pool))
+	guard.AuditBatch(auditOK, auditLines, auditAddrs)
+	for i, clean := range auditOK {
+		if !clean {
+			return CampaignResult{}, fmt.Errorf("fault: pooled line %#x audits dirty before fault injection", auditAddrs[i])
+		}
 	}
 	shuf := stats.NewRNG(cfg.Seed ^ 0x5F0F)
 	for i := len(pool) - 1; i > 0; i-- {

@@ -28,6 +28,10 @@ type Controller struct {
 	// Cached nil-safe histogram handles; nil when observability is off, so
 	// the hot path pays only a nil-receiver method call.
 	readHist, writeHist *obs.Histogram
+
+	// wres is the reusable WriteLinesBatch result scratch; it grows to the
+	// largest batch seen so steady-state flushes stay allocation-free.
+	wres []core.WriteResult
 }
 
 // Stats summarises controller activity.
@@ -136,6 +140,50 @@ func (c *Controller) WriteLine(addr uint64, line pte.Line) (latency int, err err
 	c.stats.TotalWriteCycles += uint64(latency)
 	c.writeHist.Observe(uint64(latency))
 	return latency, nil
+}
+
+// WriteLinesBatch stores many lines in one call — the campaign setup /
+// table-flush path. The guard MACs the whole population through its batch
+// engine (one bit-sliced cipher pass per 64 lanes) instead of line-at-a-time;
+// stats, stored bytes and the returned error are identical to calling
+// WriteLine per element in order, and the returned latency is the sum of the
+// per-line latencies. On error the remaining lines are still written (flush
+// loops keep going); err is the first per-line error.
+func (c *Controller) WriteLinesBatch(addrs []uint64, lines []pte.Line) (latency int, err error) {
+	if len(addrs) != len(lines) {
+		panic("memctrl: WriteLinesBatch slice lengths differ")
+	}
+	if c.guard == nil {
+		for i := range lines {
+			lat, _ := c.WriteLine(addrs[i], lines[i])
+			latency += lat
+		}
+		return latency, nil
+	}
+	if cap(c.wres) < len(lines) {
+		c.wres = make([]core.WriteResult, len(lines))
+	}
+	res := c.wres[:len(lines)]
+	failed, werr := c.guard.OnWriteBatch(res, lines, addrs)
+	macLat := c.guard.Config().MACLatencyCycles
+	for i := range lines {
+		c.stats.Writes++
+		lat := c.dev.Access(addrs[i], true) + c.contention
+		if res[i].MACComputed {
+			lat += macLat
+			c.stats.WriteMACCycles += uint64(macLat)
+		}
+		c.dev.WriteLine(addrs[i], res[i].Line)
+		c.stats.TotalWriteCycles += uint64(lat)
+		c.writeHist.Observe(uint64(lat))
+		latency += lat
+	}
+	if werr != nil && errors.Is(werr, core.ErrCTBFull) {
+		// The guard's write path only fails with ErrCTBFull, so every
+		// failed line is a collision error, as the scalar loop would count.
+		c.stats.CollisionErrors += uint64(failed)
+	}
+	return latency, werr
 }
 
 func max(a, b int) int {

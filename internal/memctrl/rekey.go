@@ -40,48 +40,43 @@ func (c *Controller) Rekey(newKey []byte) (RekeyStats, error) {
 		return RekeyStats{}, fmt.Errorf("memctrl: new guard: %w", err)
 	}
 
-	var stats RekeyStats
-	var sweepErr error
-	type pending struct {
-		addr uint64
-		line pte.Line
-	}
-	var updates []pending
+	// Collect the stored population first: the sweep touches every line, so
+	// both the old-key reads and the new-key writes ride the guard's batch
+	// MAC engine instead of running the cipher line-at-a-time. (This is a
+	// cold path; the collection slices are throwaway.)
+	var addrs []uint64
+	var lines []pte.Line
 	c.dev.Lines(func(addr uint64, line pte.Line) {
-		if sweepErr != nil {
-			return
+		addrs = append(addrs, addr)
+		lines = append(lines, line)
+	})
+	stats := RekeyStats{LinesScanned: len(lines)}
+
+	// Read under the old key with data-path semantics: protected lines
+	// verify and strip, everything else passes through.
+	rres := make([]core.ReadResult, len(lines))
+	c.guard.OnReadBatch(rres, lines, addrs, false)
+
+	// Not-stripped lines (unprotected, or colliding lines forwarded
+	// verbatim) are rewritten as-is under the new guard so their collision
+	// status is re-evaluated; stripped lines re-embed under the new key.
+	winput := make([]pte.Line, len(lines))
+	for i := range rres {
+		if rres[i].Stripped {
+			winput[i] = rres[i].Line
+		} else {
+			winput[i] = lines[i]
 		}
-		stats.LinesScanned++
-		// Read under the old key with data-path semantics: protected
-		// lines verify and strip, everything else passes through.
-		rd := c.guard.OnRead(line, addr, false)
-		if !rd.Stripped {
-			// Not protected under the old key (or a colliding line
-			// forwarded verbatim): rewrite as-is under the new
-			// guard so its collision status is re-evaluated.
-			res, werr := next.OnWrite(line, addr)
-			if werr != nil {
-				sweepErr = werr
-				return
-			}
-			updates = append(updates, pending{addr: addr, line: res.Line})
-			return
-		}
-		res, werr := next.OnWrite(rd.Line, addr)
-		if werr != nil {
-			sweepErr = werr
-			return
-		}
-		if res.Protected {
+	}
+	wres := make([]core.WriteResult, len(lines))
+	if _, werr := next.OnWriteBatch(wres, winput, addrs); werr != nil {
+		return stats, werr
+	}
+	for i := range wres {
+		if rres[i].Stripped && wres[i].Protected {
 			stats.Remacced++
 		}
-		updates = append(updates, pending{addr: addr, line: res.Line})
-	})
-	if sweepErr != nil {
-		return stats, sweepErr
-	}
-	for _, u := range updates {
-		c.dev.WriteLine(u.addr, u.line)
+		c.dev.WriteLine(addrs[i], wres[i].Line)
 	}
 	c.guard = next
 	return stats, nil

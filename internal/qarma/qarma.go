@@ -93,6 +93,9 @@ type Cipher struct {
 	// key and round constant separately on every call.
 	kRC, kaRC [MaxRounds]Block
 	rounds    int
+	// sk is the plane-mask key expansion consumed by the bit-sliced
+	// EncryptBlocks kernel, built once at key setup.
+	sk *slicedKeys128
 }
 
 // NewCipher builds a cipher from a 256-bit key (w0 || k0) and a forward
@@ -113,6 +116,7 @@ func NewCipher(key []byte, rounds int) (*Cipher, error) {
 		c.kRC[i] = xorBlocks(c.k0, _roundConsts[i])
 		c.kaRC[i] = xorBlocks(c.kAlpha, _roundConsts[i])
 	}
+	c.sk = newSlicedKeys128(c)
 	return c, nil
 }
 

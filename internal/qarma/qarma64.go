@@ -28,6 +28,9 @@ const MaxRounds64 = 8
 type Cipher64 struct {
 	w0, w1, k0, kAlpha uint64
 	rounds             int
+	// sk is the plane-mask key expansion consumed by the bit-sliced
+	// EncryptBlocks kernel, built once at key setup.
+	sk *slicedKeys64
 }
 
 // alpha64 is the reflector asymmetry constant (from the pi expansion).
@@ -59,13 +62,15 @@ func NewCipher64(key []byte, rounds int) (*Cipher64, error) {
 		w0 = w0<<8 | uint64(key[i])
 		k0 = k0<<8 | uint64(key[8+i])
 	}
-	return &Cipher64{
+	c := &Cipher64{
 		w0:     w0,
 		w1:     ortho64(w0),
 		k0:     k0,
 		kAlpha: k0 ^ alpha64,
 		rounds: rounds,
-	}, nil
+	}
+	c.sk = newSlicedKeys64(c)
+	return c, nil
 }
 
 // Encrypt enciphers the 64-bit block p under tweak t.

@@ -310,16 +310,19 @@ func (h *Host) buildVM(id int) (*VM, error) {
 	vm := &VM{ID: id, GuestPT: guestPT, Stage2: s2, guestAlloc: guestAlloc, pages: h.cfg.PagesPerVM}
 
 	// Materialise both layers in DRAM: stage-2 lines at their own host
-	// addresses, guest-table lines at the host frames stage-2 assigns.
-	var flushErr error
+	// addresses, guest-table lines at the host frames stage-2 assigns. Each
+	// layer flushes as one batch through its controller's MAC engine.
+	var flushAddrs []uint64
+	var flushLines []pte.Line
 	s2.Lines(func(addr uint64, line pte.Line) {
-		if _, werr := h.S2Ctrl.WriteLine(addr, line); werr != nil && flushErr == nil {
-			flushErr = werr
-		}
+		flushAddrs = append(flushAddrs, addr)
+		flushLines = append(flushLines, line)
 	})
-	if flushErr != nil {
-		return nil, flushErr
+	if _, werr := h.S2Ctrl.WriteLinesBatch(flushAddrs, flushLines); werr != nil {
+		return nil, werr
 	}
+	flushAddrs, flushLines = flushAddrs[:0], flushLines[:0]
+	var flushErr error
 	guestPT.Lines(func(gaddr uint64, line pte.Line) {
 		haddr, ok := vm.hostAddr(gaddr)
 		if !ok {
@@ -328,12 +331,14 @@ func (h *Host) buildVM(id int) (*VM, error) {
 			}
 			return
 		}
-		if _, werr := h.GuestCtrl.WriteLine(haddr, line); werr != nil && flushErr == nil {
-			flushErr = werr
-		}
+		flushAddrs = append(flushAddrs, haddr)
+		flushLines = append(flushLines, line)
 	})
 	if flushErr != nil {
 		return nil, flushErr
+	}
+	if _, werr := h.GuestCtrl.WriteLinesBatch(flushAddrs, flushLines); werr != nil {
+		return nil, werr
 	}
 	return vm, nil
 }
@@ -437,6 +442,61 @@ func (h *Host) Stage2TableLines(vmid int) ([]uint64, error) {
 	vm.Stage2.Lines(func(addr uint64, _ pte.Line) { out = append(out, addr) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// LayerAudit is one paging layer's batch-verify outcome.
+type LayerAudit struct {
+	// Audited is false when the layer carries no guard: there is nothing
+	// to verify and Lines/Dirty stay zero.
+	Audited bool
+	// Lines is the number of stored table lines swept; Dirty counts those
+	// that would fail the page-table-walk integrity check.
+	Lines, Dirty int
+}
+
+// TablesAudit pairs the two layers' audits for one tenant.
+type TablesAudit struct {
+	Guest, Stage2 LayerAudit
+}
+
+// AuditTables sweeps one tenant's stored table lines in both layers through
+// the guards' batch scrub path (core.Guard.AuditBatch): every line is
+// re-read from DRAM and batch-verified without perturbing guard counters,
+// CTB state or corrections — the post-attack classification campaigns run
+// after hammering to tell silent table corruption from detected corruption.
+func (h *Host) AuditTables(vmid int) (TablesAudit, error) {
+	gaddrs, err := h.GuestTableLines(vmid)
+	if err != nil {
+		return TablesAudit{}, err
+	}
+	s2addrs, err := h.Stage2TableLines(vmid)
+	if err != nil {
+		return TablesAudit{}, err
+	}
+	return TablesAudit{
+		Guest:  h.auditLayer(h.GuestCtrl, gaddrs),
+		Stage2: h.auditLayer(h.S2Ctrl, s2addrs),
+	}, nil
+}
+
+func (h *Host) auditLayer(ctrl *memctrl.Controller, addrs []uint64) LayerAudit {
+	g := ctrl.Guard()
+	if g == nil {
+		return LayerAudit{}
+	}
+	lines := make([]pte.Line, len(addrs))
+	for i, a := range addrs {
+		lines[i] = h.Dev.ReadLine(a)
+	}
+	ok := make([]bool, len(addrs))
+	g.AuditBatch(ok, lines, addrs)
+	audit := LayerAudit{Audited: true, Lines: len(addrs)}
+	for _, clean := range ok {
+		if !clean {
+			audit.Dirty++
+		}
+	}
+	return audit
 }
 
 // Shootdown flushes one tenant's TLB entries and both walker MMU caches

@@ -257,3 +257,53 @@ func TestPlacementParsing(t *testing.T) {
 		t.Fatal("single placements must protect exactly one layer")
 	}
 }
+
+func TestAuditTables(t *testing.T) {
+	h, err := NewHost(Config{Tenants: 2, PagesPerVM: 8, Placement: PlacementGuest, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := h.AuditTables(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Guest.Audited || audit.Stage2.Audited {
+		t.Fatalf("placement guest: audit flags wrong: %+v", audit)
+	}
+	if audit.Guest.Lines == 0 || audit.Guest.Dirty != 0 {
+		t.Fatalf("pristine tables: guest audit = %+v, want clean lines", audit.Guest)
+	}
+
+	// Flip a protected bit in one stored guest table line: exactly one line
+	// must audit dirty.
+	addrs, err := h.GuestTableLines(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := h.Dev.ReadLine(addrs[0])
+	line[0] = pte.Entry(uint64(line[0]) ^ 1<<20)
+	h.Dev.WriteLine(addrs[0], line)
+	audit, err = h.AuditTables(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Guest.Dirty != 1 {
+		t.Fatalf("after one flip: guest audit = %+v, want 1 dirty line", audit.Guest)
+	}
+	// The audit is pure: the other tenant and the guard's counters must be
+	// untouched, and re-auditing gives the same answer.
+	before := h.GuestCtrl.Guard().Counters()
+	if again, _ := h.AuditTables(0); again != audit {
+		t.Fatalf("re-audit diverges: %+v vs %+v", again, audit)
+	}
+	if h.GuestCtrl.Guard().Counters() != before {
+		t.Fatal("AuditTables perturbed guard counters")
+	}
+	other, err := h.AuditTables(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Guest.Dirty != 0 {
+		t.Fatalf("tenant 1 audit dirtied by tenant 0 flip: %+v", other)
+	}
+}
