@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench bench-json bench-json-smoke bench-compare
+.PHONY: ci vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke dist-smoke bench-smoke bench bench-json bench-json-smoke bench-compare
 
 # ci is the gate every change must pass.
-ci: vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke bench-smoke bench-json-smoke
+ci: vet build test race fuzz-smoke chaos-smoke mitigate-smoke vm-smoke dist-smoke bench-smoke bench-json-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test ./internal/harness -run=^$$ -fuzz=FuzzJournalCorruption -fuzztime=5s
 	$(GO) test ./internal/virt -run=^$$ -fuzz=FuzzNestedWalk -fuzztime=5s
 	$(GO) test ./internal/mac -run=^$$ -fuzz=FuzzBatchMAC -fuzztime=5s
+	$(GO) test ./internal/dist -run=^$$ -fuzz=FuzzDistFrame -fuzztime=5s
 
 # chaos-smoke: one soak round over the full fault-point catalog — real
 # process kills, torn journal writes, fsync/disk faults, worker panics, hung
@@ -37,6 +38,16 @@ fuzz-smoke:
 # resumed report is byte-identical to the uninterrupted same-seed run.
 chaos-smoke:
 	$(GO) run ./cmd/ptguard-soak -rounds 1 -lines 20 -jobs 6 -timeout 5s -quiet
+
+# dist-smoke: a micro-campaign sharded over two race-built ptguard-worker
+# subprocesses — spawn, CRC-framed handshake, job streaming, and shutdown
+# all exercised end to end under the race detector.
+dist-smoke:
+	@dir=$$(mktemp -d) && \
+	$(GO) build -race -o $$dir ./cmd/ptguard-sweep ./cmd/ptguard-worker && \
+	$$dir/ptguard-sweep -sections correction -correction-lines 10 \
+		-backend proc -dist-workers 2 -quiet > /dev/null; \
+	rc=$$?; rm -rf $$dir; exit $$rc
 
 # A tiny head-to-head matrix: the mitigation registry, attack patterns, and
 # campaign plumbing all exercised end to end in a couple of seconds.

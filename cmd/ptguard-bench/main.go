@@ -27,7 +27,7 @@ func run() error {
 	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
 	out := flag.String("out", ".", "directory to write the next BENCH_<n>.json into")
 	compare := flag.String("compare", "", "two BENCH_*.json files, comma-separated: print before->after table instead of ingesting")
-	threshold := flag.Float64("threshold", 10, "with -compare: fail (exit non-zero) when any shared benchmark's ns/op regresses by more than this percentage")
+	threshold := flag.Float64("threshold", 10, "with -compare: fail (exit non-zero) when any shared benchmark's ns/op rises, or a */sec throughput metric drops, by more than this percentage")
 	flag.Parse()
 
 	if *compare != "" {
@@ -102,7 +102,13 @@ func runCompare(spec string, thresholdPct float64) error {
 		return nil
 	}
 	for _, r := range regs {
-		fmt.Fprintf(os.Stderr, "REGRESSION %s: %.4g -> %.4g ns/op (+%.1f%%)\n", r.Name, r.Before, r.After, r.Pct)
+		// Pct is normalised so that bigger is always worse; spell out the
+		// direction per unit family (ns/op rose, throughput fell).
+		dir := "+"
+		if strings.HasSuffix(r.Unit, "/sec") {
+			dir = "-"
+		}
+		fmt.Fprintf(os.Stderr, "REGRESSION %s: %.4g -> %.4g %s (%s%.1f%%)\n", r.Name, r.Before, r.After, r.Unit, dir, r.Pct)
 	}
-	return fmt.Errorf("%d benchmark(s) regressed more than %g%% ns/op", len(regs), thresholdPct)
+	return fmt.Errorf("%d benchmark metric(s) regressed more than %g%%", len(regs), thresholdPct)
 }

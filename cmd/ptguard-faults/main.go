@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"ptguard/internal/dist"
 	"ptguard/internal/fault"
 	"ptguard/internal/harness"
 	"ptguard/internal/obs"
@@ -61,6 +62,7 @@ func run() error {
 		traceCap   = flag.Int("trace-capacity", 0, "per-campaign trace ring capacity (0 = default 65536)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address during the campaign")
 	)
+	distFlags := dist.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -94,8 +96,7 @@ func run() error {
 		Timeout:     *timeout,
 		Retries:     *retries,
 		JournalPath: *journal,
-		Fingerprint: fmt.Sprintf("faults-v1 seed=%d models=%s modes=%s lines=%d k=%d tag=%d obs=%v",
-			*seed, *models, *modes, *lines, *softK, *tag, spec.Obs != nil),
+		Fingerprint: harness.Fingerprint("faults", *seed, spec),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -120,6 +121,14 @@ func run() error {
 	jobs, err := spec.Jobs(*seed)
 	if err != nil {
 		return err
+	}
+	co, err := distFlags.Start(dist.Campaign{Kind: dist.KindFaults, Spec: spec, Seed: *seed}, &opts, nil)
+	if err != nil {
+		return err
+	}
+	if co != nil {
+		dist.Publish(co)
+		defer co.Close()
 	}
 	rep, err := harness.Run(ctx, jobs, opts)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"ptguard/internal/dist"
 	"ptguard/internal/dram"
 	"ptguard/internal/harness"
 	"ptguard/internal/mitigate"
@@ -63,6 +64,7 @@ func run() error {
 		budget      = flag.Int("budget", 0, "mitigative refreshes allowed per scaled tREFI (0 = unlimited)")
 		list        = flag.Bool("list", false, "print the registered mitigations and patterns and exit")
 	)
+	distFlags := dist.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -90,9 +92,7 @@ func run() error {
 		Timeout:     *timeout,
 		Retries:     *retries,
 		JournalPath: *journal,
-		Fingerprint: fmt.Sprintf("mitigate-v1 seed=%d mit=%s pat=%s guard=%s trials=%d corr=%v thr=%d smp=%d tbl=%d acts=%d win=%d budget=%d",
-			*seed, *mitigations, *patterns, *guard, *trials, *correction,
-			*threshold, *sampler, *tableSize, *acts, *windowActs, *budget),
+		Fingerprint: harness.Fingerprint("mitigate", *seed, spec),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -105,6 +105,14 @@ func run() error {
 	jobs, err := spec.Jobs(*seed)
 	if err != nil {
 		return err
+	}
+	co, err := distFlags.Start(dist.Campaign{Kind: dist.KindMitigate, Spec: spec, Seed: *seed}, &opts, nil)
+	if err != nil {
+		return err
+	}
+	if co != nil {
+		dist.Publish(co)
+		defer co.Close()
 	}
 	rep, err := harness.Run(ctx, jobs, opts)
 	if err != nil {

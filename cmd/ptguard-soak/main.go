@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ptguard/internal/chaos"
+	"ptguard/internal/dist"
 	"ptguard/internal/harness"
 	"ptguard/internal/obs"
 	"ptguard/internal/report"
@@ -68,11 +69,13 @@ func run() error {
 		chaosSpec = flag.String("chaos", "", "internal: child chaos schedule spec")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "internal: child chaos schedule seed")
 	)
+	distFlags := dist.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := legConfig{
 		seed: *seed, lines: *lines, jobs: *jobs, workers: *workers,
 		timeout: *timeout, backoff: *backoff, drain: *drain, quiet: *quiet,
+		dist: distFlags,
 	}
 	if *child {
 		return runChildLeg(cfg, *journal, *chaosSpec, *chaosSeed)
@@ -180,6 +183,12 @@ type legConfig struct {
 	timeout        time.Duration
 	backoff, drain time.Duration
 	quiet          bool
+	// dist selects the execution backend for the disrupted legs; the
+	// reference run always stays in-process, so a -backend=proc soak also
+	// proves cross-backend byte-identity, and a worker.kill schedule gets
+	// absorbed by the coordinator's crash-requeue rather than killing the
+	// leg.
+	dist *dist.Flags
 }
 
 // spec builds the correction campaign: a geometric-ish grid of flip
@@ -193,7 +202,9 @@ func (c legConfig) spec() harness.CorrectionSpec {
 }
 
 func (c legConfig) fingerprint() string {
-	return fmt.Sprintf("soak-v1 seed=%d lines=%d jobs=%d", c.seed, c.lines, c.jobs)
+	// Backend-invariant on purpose: a journal written by a local leg must
+	// resume under -backend=proc and vice versa.
+	return harness.Fingerprint("soak", c.seed, c.spec())
 }
 
 // render produces the canonical report bytes every leg is compared by.
@@ -263,7 +274,15 @@ func runChildLeg(cfg legConfig, journalPath, spec string, chaosSeed uint64) erro
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rep, err := harness.Run(ctx, jb, cfg.options(journalPath, inj))
+	opts := cfg.options(journalPath, inj)
+	co, err := cfg.dist.Start(dist.Campaign{Kind: dist.KindCorrection, Spec: cfg.spec(), Seed: cfg.seed}, &opts, inj)
+	if err != nil {
+		return err
+	}
+	if co != nil {
+		defer co.Close()
+	}
+	rep, err := harness.Run(ctx, jb, opts)
 	if err != nil {
 		return err
 	}
@@ -326,6 +345,10 @@ func runFaultCycle(ctx context.Context, self, dir string, cfg legConfig, round i
 			"-retry-backoff", cfg.backoff.String(),
 			"-drain-grace", cfg.drain.String(),
 			"-quiet=true",
+			"-backend", cfg.dist.Backend,
+			"-dist-workers", fmt.Sprint(cfg.dist.Workers),
+			"-connect", cfg.dist.Connect,
+			"-worker-bin", cfg.dist.WorkerBin,
 		)
 		var stdout, stderr bytes.Buffer
 		cmd.Stdout, cmd.Stderr = &stdout, &stderr

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ptguard/internal/attack"
+	"ptguard/internal/dist"
 	"ptguard/internal/harness"
 	"ptguard/internal/obs"
 	"ptguard/internal/report"
@@ -79,6 +80,7 @@ func run() error {
 		traceCap   = flag.Int("trace-capacity", 0, "per-run trace ring capacity (0 = default 65536)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address during the campaign")
 	)
+	distFlags := dist.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	lats, err := parseInts(*macLats)
@@ -116,17 +118,24 @@ func run() error {
 		Acts:        *mitActs,
 	}
 
+	// The fingerprint digests every section's spec (not just the ones
+	// -sections selects) because all sections share one journal file, and
+	// it deliberately excludes execution knobs — backend, worker count,
+	// timeouts — so a journal written locally resumes under -backend=proc
+	// at any width (see harness.Fingerprint).
+	allSpecs := struct {
+		Slowdown   harness.SlowdownSpec
+		Multicore  harness.MulticoreSpec
+		Ablation   harness.AblationSpec
+		Correction harness.CorrectionSpec
+		Mitigate   harness.MitigateSpec
+	}{slowdownSpec, multicoreSpec, ablationSpec, correctionSpec, mitigateSpec}
 	opts := harness.Options{
 		Workers:     *workers,
 		Timeout:     *timeout,
 		Retries:     *retries,
 		JournalPath: *journal,
-		Fingerprint: fmt.Sprintf(
-			"sweep-v1 seed=%d warmup=%d instr=%d lats=%s workloads=%s mc=%d/%d/%d/%d/%s abl=%d/%g cor=%d mit=%s/%d/%d obs=%v",
-			*seed, *warmup, *instr, *macLats, *workloads,
-			*sameN, *mixN, *mcWarmup, *mcInstr, *mcModel, *ablLines, *flipProb, *corLines,
-			*mitigation, *mitTrials, *mitActs,
-			slowdownSpec.Obs != nil),
+		Fingerprint: harness.Fingerprint("sweep-v2", *seed, allSpecs),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -159,34 +168,39 @@ func run() error {
 		case "":
 			continue
 		case "slowdown":
-			sectionTables, serr = runSection(ctx, opts, *seed,
+			sectionTables, serr = runSection(ctx, opts, *seed, distFlags,
+				dist.KindSlowdown, slowdownSpec,
 				slowdownSpec.Jobs,
 				func(rs []harness.SlowdownResult) ([]*report.Table, error) {
 					slowdownResults = rs
 					return harness.SlowdownTables(rs, nil)
 				})
 		case "multicore":
-			sectionTables, serr = runSection(ctx, opts, *seed,
+			sectionTables, serr = runSection(ctx, opts, *seed, distFlags,
+				dist.KindMulticore, multicoreSpec,
 				multicoreSpec.Jobs,
 				func(rs []sim.MulticoreResult) ([]*report.Table, error) {
 					tbl, err := harness.MulticoreTable(rs)
 					return []*report.Table{tbl}, err
 				})
 		case "ablation":
-			sectionTables, serr = runSection(ctx, opts, *seed,
+			sectionTables, serr = runSection(ctx, opts, *seed, distFlags,
+				dist.KindAblation, ablationSpec,
 				ablationSpec.Jobs,
 				func(rs []harness.AblationResult) ([]*report.Table, error) {
 					return harness.AblationTables(rs, ablationSpec)
 				})
 		case "correction":
-			sectionTables, serr = runSection(ctx, opts, *seed,
+			sectionTables, serr = runSection(ctx, opts, *seed, distFlags,
+				dist.KindCorrection, correctionSpec,
 				correctionSpec.Jobs,
 				func(rs []harness.CorrectionPoint) ([]*report.Table, error) {
 					tbl, err := harness.CorrectionTable(rs, correctionSpec)
 					return []*report.Table{tbl}, err
 				})
 		case "mitigate":
-			sectionTables, serr = runSection(ctx, opts, *seed,
+			sectionTables, serr = runSection(ctx, opts, *seed, distFlags,
+				dist.KindMitigate, mitigateSpec,
 				mitigateSpec.Jobs,
 				func(rs []attack.MitigationTrialResult) ([]*report.Table, error) {
 					return harness.MitigateTables(rs, mitigateSpec)
@@ -270,17 +284,33 @@ func writeObsOutputs(results []harness.SlowdownResult, metricsOut, traceOut stri
 }
 
 // runSection expands one campaign section into jobs, runs them through the
-// harness, and aggregates the results into tables.
+// harness, and aggregates the results into tables. Each section is its own
+// distributed campaign: with -backend=proc/tcp a fresh coordinator (and
+// worker pool) is started for the section and torn down after it.
 func runSection[R any](
 	ctx context.Context,
 	opts harness.Options,
 	seed uint64,
+	distFlags *dist.Flags,
+	kind string,
+	spec any,
 	jobsFn func(uint64) ([]harness.Job[R], error),
 	aggregate func([]R) ([]*report.Table, error),
 ) ([]*report.Table, error) {
 	jobs, err := jobsFn(seed)
 	if err != nil {
 		return nil, err
+	}
+	co, err := distFlags.Start(dist.Campaign{Kind: kind, Spec: spec, Seed: seed}, &opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	if co != nil {
+		dist.Publish(co)
+		defer func() {
+			dist.Publish(nil)
+			co.Close()
+		}()
 	}
 	rep, err := harness.Run(ctx, jobs, opts)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ptguard/internal/attack"
+	"ptguard/internal/dist"
 	"ptguard/internal/harness"
 	"ptguard/internal/obs"
 	"ptguard/internal/report"
@@ -67,6 +68,7 @@ func run() error {
 		traceCap   = flag.Int("trace-capacity", 0, "per-trial trace ring capacity (0 = default 65536)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address during the campaign")
 	)
+	distFlags := dist.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -102,8 +104,7 @@ func run() error {
 		Timeout:     *timeout,
 		Retries:     *retries,
 		JournalPath: *journal,
-		Fingerprint: fmt.Sprintf("vm-v1 seed=%d tenants=%s placements=%s targets=%s trials=%d pages=%d thr=%d acts=%d corr=%v obs=%v",
-			*seed, *tenants, *placements, *targets, *trials, *pages, *threshold, *acts, *correction, spec.Obs != nil),
+		Fingerprint: harness.Fingerprint("vm", *seed, spec),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -128,6 +129,14 @@ func run() error {
 	jobs, err := spec.Jobs(*seed)
 	if err != nil {
 		return err
+	}
+	co, err := distFlags.Start(dist.Campaign{Kind: dist.KindVirt, Spec: spec, Seed: *seed}, &opts, nil)
+	if err != nil {
+		return err
+	}
+	if co != nil {
+		dist.Publish(co)
+		defer co.Close()
 	}
 	rep, err := harness.Run(ctx, jobs, opts)
 	if err != nil {

@@ -1,0 +1,66 @@
+// ptguard-worker is the execution half of the distributed campaign
+// backend: a coordinator (any campaign CLI run with -backend=proc or
+// -backend=tcp) hands it a campaign (kind, spec, seed) over a CRC-framed
+// JSONL session, and it expands the identical job set locally and
+// executes the keys it is dealt.
+//
+// With no flags it serves exactly one session over stdin/stdout — the
+// mode coordinators spawn subprocesses in. With -listen it serves TCP
+// sessions instead, one session per connection, so campaigns can shard
+// across machines:
+//
+//	ptguard-worker -listen :9723            # on each worker box
+//	ptguard-sweep -backend tcp -connect hostA:9723,hostB:9723 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"ptguard/internal/dist"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "serve TCP sessions on this address (host:port) instead of one stdio session")
+		listKinds = flag.Bool("list-kinds", false, "print the registered campaign spec kinds and exit")
+	)
+	flag.Parse()
+
+	if *listKinds {
+		for _, k := range dist.Kinds() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	if *listen == "" {
+		if err := dist.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ptguard-worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptguard-worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ptguard-worker: listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptguard-worker: accept: %v\n", err)
+			os.Exit(1)
+		}
+		go func() {
+			defer conn.Close()
+			if err := dist.Serve(conn, conn); err != nil {
+				fmt.Fprintf(os.Stderr, "ptguard-worker: session %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}

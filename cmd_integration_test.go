@@ -138,6 +138,21 @@ func TestCommandLineTools(t *testing.T) {
 			args: []string{"-list"},
 			want: []string{"none", "guest", "stage2", "both"},
 		},
+		{
+			bin:  "ptguard-worker",
+			args: []string{"-list-kinds"},
+			want: []string{"ablation", "correction", "faults", "mitigate",
+				"multicore", "slowdown", "synthetic", "virt"},
+		},
+		{
+			// A whole campaign sharded over worker subprocesses; the
+			// coordinator discovers ptguard-worker next to its own binary.
+			bin: "ptguard-mitigate",
+			args: []string{"-mitigations", "none", "-patterns", "classic",
+				"-trials", "1", "-acts", "4096", "-quiet",
+				"-backend", "proc", "-dist-workers", "2"},
+			want: []string{"Mitigation head-to-head", "DEFEATED"},
+		},
 	}
 	for _, tt := range tests {
 		name := tt.bin + strings.Join(tt.args, "_")
@@ -235,6 +250,100 @@ func TestCommandLineTools(t *testing.T) {
 		}
 		if !bytes.Equal(out, ref) {
 			t.Errorf("resumed report diverged from uninterrupted run:\n--- resumed\n%s\n--- reference\n%s", out, ref)
+		}
+	})
+
+	// Distributed-backend determinism: the same sweep section run in-process
+	// and sharded over worker subprocesses must emit byte-identical reports.
+	t.Run("ptguard-sweep_proc_backend_determinism", func(t *testing.T) {
+		args := []string{"-sections", "correction", "-correction-lines", "20",
+			"-format", "csv", "-quiet"}
+		local, err := exec.Command(filepath.Join(binDir, "ptguard-sweep"), args...).Output()
+		if err != nil {
+			t.Fatalf("local run: %v", err)
+		}
+		proc, err := exec.Command(filepath.Join(binDir, "ptguard-sweep"),
+			append(args, "-backend", "proc", "-dist-workers", "3")...).Output()
+		if err != nil {
+			t.Fatalf("proc run: %v", err)
+		}
+		if !bytes.Equal(proc, local) {
+			t.Errorf("proc report diverged from local:\n--- proc\n%s\n--- local\n%s", proc, local)
+		}
+	})
+
+	// Distributed kill-resume determinism: SIGKILL a journaled -backend=proc
+	// campaign mid-run (taking its worker subprocesses down with it), resume
+	// against the same journal at a different worker count, and require
+	// output byte-identical to the in-process run — the journal, not the
+	// backend, is the source of truth. (If the first leg finishes before the
+	// kill lands, the resume is a pure journal replay and the check holds.)
+	t.Run("ptguard-faults_proc_kill_resume_determinism", func(t *testing.T) {
+		dir := t.TempDir()
+		faultsArgs := func(journal string, extra ...string) []string {
+			return append([]string{"-seed", "7", "-models", "1bit,2bit,burst",
+				"-modes", "detect,correct", "-lines", "60",
+				"-quiet", "-format", "csv", "-journal", journal}, extra...)
+		}
+		ref, err := exec.Command(filepath.Join(binDir, "ptguard-faults"),
+			faultsArgs(filepath.Join(dir, "ref.jsonl"))...).Output()
+		if err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+
+		journal := filepath.Join(dir, "resume.jsonl")
+		first := exec.Command(filepath.Join(binDir, "ptguard-faults"),
+			faultsArgs(journal, "-backend", "proc", "-dist-workers", "2")...)
+		if err := first.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(600 * time.Millisecond)
+		_ = first.Process.Kill()
+		_ = first.Wait()
+
+		out, err := exec.Command(filepath.Join(binDir, "ptguard-faults"),
+			faultsArgs(journal, "-backend", "proc", "-dist-workers", "4")...).Output()
+		if err != nil {
+			t.Fatalf("resumed proc run: %v", err)
+		}
+		if !bytes.Equal(out, ref) {
+			t.Errorf("resumed proc report diverged from local reference:\n--- resumed\n%s\n--- reference\n%s", out, ref)
+		}
+	})
+
+	// Soak under the proc backend: the kill/corrupt/resume cycle runs its
+	// disrupted legs on worker subprocesses while the reference stays
+	// in-process, so byte-identical verdicts prove cross-backend identity
+	// under chaos. worker.kill is coordinator-side (absorbed by
+	// crash-requeue, leg still exits clean); proc.kill takes the whole leg
+	// down and must show real process kills.
+	t.Run("ptguard-soak_proc_backend", func(t *testing.T) {
+		cmd := exec.Command(filepath.Join(binDir, "ptguard-soak"),
+			"-faults", "worker.kill,proc.kill",
+			"-lines", "20", "-jobs", "6", "-timeout", "30s",
+			"-backend", "proc", "-dist-workers", "2",
+			"-worker-bin", filepath.Join(binDir, "ptguard-worker"),
+			"-format", "csv", "-quiet")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ptguard-soak: %v\n%s", err, out)
+		}
+		rows := strings.Split(strings.TrimSpace(string(out)), "\n")
+		if len(rows) != 3 { // header + one row per fault point
+			t.Fatalf("want 3 CSV rows, got %d:\n%s", len(rows), out)
+		}
+		for _, row := range rows[1:] {
+			cells := strings.Split(row, ",")
+			if len(cells) != 7 {
+				t.Fatalf("malformed CSV row %q", row)
+			}
+			point, kills, verdict := cells[1], cells[4], cells[6]
+			if !strings.Contains(verdict, "byte-identical") {
+				t.Errorf("%s: resumed report diverged: %q", point, verdict)
+			}
+			if point == "proc.kill" && kills == "0" {
+				t.Errorf("%s: cycle finished without a real process kill", point)
+			}
 		}
 	})
 

@@ -166,21 +166,29 @@ func Decode(r io.Reader) (*File, error) {
 	return &f, nil
 }
 
-// Regression is one benchmark whose ns/op worsened past a threshold between
+// Regression is one benchmark metric that worsened past a threshold between
 // two runs.
 type Regression struct {
 	// Name is the (suffix-stripped) benchmark name.
 	Name string
-	// Before and After are the ns/op values of the two runs.
+	// Unit is the metric that regressed: "ns/op", or a throughput unit
+	// ending in "/sec" (e.g. "campaign-jobs/sec").
+	Unit string
+	// Before and After are the metric's values in the two runs.
 	Before, After float64
-	// Pct is the ns/op increase in percent of the before value.
+	// Pct is the regression size in percent of the before value: an
+	// increase for ns/op, a decrease for "/sec" metrics.
 	Pct float64
 }
 
-// Regressions returns the benchmarks present in both runs whose ns/op grew
-// by more than thresholdPct percent, in after-file order. Benchmarks missing
-// from either file, or without a positive ns/op in both, are skipped — the
-// gate judges only what both baselines measured.
+// Regressions returns the benchmarks present in both runs with a metric
+// that worsened by more than thresholdPct percent, in after-file order.
+// Two metric families are gated, with opposite polarity: ns/op (lower is
+// better — an increase regresses) and custom "/sec" throughput metrics
+// such as the campaign-jobs/sec scaling benchmarks (higher is better — a
+// decrease regresses). Benchmarks missing from either file, or metrics
+// without a positive value in both, are skipped — the gate judges only
+// what both baselines measured.
 func Regressions(before, after *File, thresholdPct float64) []Regression {
 	var out []Regression
 	for _, ar := range after.Results {
@@ -188,12 +196,25 @@ func Regressions(before, after *File, thresholdPct float64) []Regression {
 		if !ok {
 			continue
 		}
-		bv, av := br.NsPerOp(), ar.NsPerOp()
-		if bv <= 0 || av <= 0 {
-			continue
+		units := make([]string, 0, len(ar.Metrics))
+		for u := range ar.Metrics {
+			if u == "ns/op" || strings.HasSuffix(u, "/sec") {
+				units = append(units, u)
+			}
 		}
-		if pct := 100 * (av - bv) / bv; pct > thresholdPct {
-			out = append(out, Regression{Name: ar.Name, Before: bv, After: av, Pct: pct})
+		sort.Strings(units)
+		for _, u := range units {
+			bv, av := br.Metrics[u], ar.Metrics[u]
+			if bv <= 0 || av <= 0 {
+				continue
+			}
+			pct := 100 * (av - bv) / bv
+			if strings.HasSuffix(u, "/sec") {
+				pct = -pct // throughput: a drop is the regression
+			}
+			if pct > thresholdPct {
+				out = append(out, Regression{Name: ar.Name, Unit: u, Before: bv, After: av, Pct: pct})
+			}
 		}
 	}
 	return out

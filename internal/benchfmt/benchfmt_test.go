@@ -138,3 +138,64 @@ func TestRegressions(t *testing.T) {
 		t.Errorf("5%% threshold flags %+v, want 2", regs)
 	}
 }
+
+func TestRegressionsThroughputMetrics(t *testing.T) {
+	// "/sec" metrics regress in the opposite direction from ns/op: a
+	// DROP in throughput is the failure. This gates the distributed
+	// campaign scaling benchmarks (campaign-jobs/sec).
+	before, err := Parse(strings.NewReader(
+		"BenchmarkCampaignThroughput/proc-4-8 5 1000 ns/op 40.0 campaign-jobs/sec\n" +
+			"BenchmarkSteady-8 5 1000 ns/op 100 campaign-jobs/sec\n" +
+			"BenchmarkOther-8 5 1000 ns/op 3.5 flips/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Parse(strings.NewReader(
+		"BenchmarkCampaignThroughput/proc-4-8 5 1000 ns/op 25.0 campaign-jobs/sec\n" + // -37.5%
+			"BenchmarkSteady-8 5 1000 ns/op 150 campaign-jobs/sec\n" + // improved: never flagged
+			"BenchmarkOther-8 5 1000 ns/op 1.0 flips/op\n")) // not a gated unit
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(before, after, 10)
+	if len(regs) != 1 {
+		t.Fatalf("Regressions = %+v, want exactly the throughput drop", regs)
+	}
+	r := regs[0]
+	if r.Name != "BenchmarkCampaignThroughput/proc-4" || r.Unit != "campaign-jobs/sec" {
+		t.Errorf("regression identity = %+v", r)
+	}
+	if r.Before != 40 || r.After != 25 || r.Pct != 37.5 {
+		t.Errorf("regression detail = %+v", r)
+	}
+	if regs := Regressions(before, after, 40); len(regs) != 0 {
+		t.Errorf("40%% threshold still flags %+v", regs)
+	}
+}
+
+func TestRegressionsMixedUnitsOneBenchmark(t *testing.T) {
+	// One benchmark can regress on both families at once; each metric is
+	// reported as its own regression with its unit attached.
+	before, err := Parse(strings.NewReader("BenchmarkBoth-8 5 1000 ns/op 100 jobs/sec\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Parse(strings.NewReader("BenchmarkBoth-8 5 2000 ns/op 50 jobs/sec\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(before, after, 10)
+	if len(regs) != 2 {
+		t.Fatalf("Regressions = %+v, want ns/op and jobs/sec", regs)
+	}
+	units := map[string]bool{}
+	for _, r := range regs {
+		units[r.Unit] = true
+		if r.Name != "BenchmarkBoth" {
+			t.Errorf("name = %q", r.Name)
+		}
+	}
+	if !units["ns/op"] || !units["jobs/sec"] {
+		t.Errorf("units flagged: %v", units)
+	}
+}

@@ -47,6 +47,10 @@ const (
 	// ProcKill terminates the process immediately after a checkpoint
 	// append (exercises kill-and-resume).
 	ProcKill Point = "proc.kill"
+	// WorkerKill kills a distributed worker process right after a job was
+	// dispatched to it (exercises the coordinator's heartbeat-timeout /
+	// crash-requeue path; a no-op on the in-process backend).
+	WorkerKill Point = "worker.kill"
 )
 
 // KillExitCode is the exit status used by injected process kills, chosen to
@@ -58,7 +62,7 @@ const KillExitCode = 137
 func Points() []Point {
 	pts := []Point{
 		DiskFull, JobHang, JournalFsync, JournalShortWrite, JournalWrite,
-		ProcKill, WorkerPanic,
+		ProcKill, WorkerKill, WorkerPanic,
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 	return pts

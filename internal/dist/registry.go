@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ptguard/internal/harness"
+)
+
+// A campaign crosses the process boundary as (kind, spec JSON, seed):
+// job closures cannot be serialised, but every harness spec is
+// declarative — Jobs(seed) is a pure function — so the worker re-expands
+// the identical job set from the identical inputs and a bare job key
+// names the same computation on both sides. The registry maps the kind
+// string to that expansion.
+
+// jobSet is one expanded campaign on the worker side: the job keys in
+// spec order, and a runner per key that executes the job and marshals
+// its result.
+type jobSet struct {
+	keys []string
+	run  map[string]func(ctx context.Context) (json.RawMessage, error)
+}
+
+// expander turns (spec JSON, seed) into a jobSet.
+type expander func(spec json.RawMessage, seed uint64) (*jobSet, error)
+
+var registry = map[string]expander{}
+
+// register wires one spec kind: S's Jobs method (passed as a method
+// expression) expands the spec, and results marshal through R — the same
+// type the coordinator-side harness decodes them back into.
+func register[S any, R any](kind string, jobs func(S, uint64) ([]harness.Job[R], error)) {
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("dist: duplicate spec kind %q", kind))
+	}
+	registry[kind] = func(raw json.RawMessage, seed uint64) (*jobSet, error) {
+		var spec S
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, fmt.Errorf("dist: decode %s spec: %w", kind, err)
+		}
+		list, err := jobs(spec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("dist: expand %s campaign: %w", kind, err)
+		}
+		js := &jobSet{run: make(map[string]func(context.Context) (json.RawMessage, error), len(list))}
+		for _, j := range list {
+			j := j
+			if _, dup := js.run[j.Key]; dup {
+				return nil, fmt.Errorf("dist: %s campaign has duplicate job key %q", kind, j.Key)
+			}
+			js.keys = append(js.keys, j.Key)
+			js.run[j.Key] = func(ctx context.Context) (json.RawMessage, error) {
+				v, err := j.Run(ctx)
+				if err != nil {
+					return nil, err
+				}
+				raw, err := json.Marshal(v)
+				if err != nil {
+					return nil, fmt.Errorf("dist: marshal result of %q: %w", j.Key, err)
+				}
+				return raw, nil
+			}
+		}
+		return js, nil
+	}
+}
+
+// Kinds returns the registered spec kinds, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expand resolves a kind and expands its campaign.
+func expand(kind string, spec json.RawMessage, seed uint64) (*jobSet, error) {
+	exp, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown spec kind %q (known: %v)", kind, Kinds())
+	}
+	return exp(spec, seed)
+}

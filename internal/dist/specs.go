@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ptguard/internal/harness"
+	"ptguard/internal/stats"
+)
+
+// The spec-kind catalog: every harness campaign a CLI can run is
+// registered here, so any of them can be handed to a worker process by
+// name. The kind strings are part of the wire protocol and of journal
+// fingerprints — never reuse or rename one.
+const (
+	KindSlowdown   = "slowdown"
+	KindMulticore  = "multicore"
+	KindAblation   = "ablation"
+	KindCorrection = "correction"
+	KindFaults     = "faults"
+	KindMitigate   = "mitigate"
+	KindVirt       = "virt"
+	KindSynthetic  = "synthetic"
+)
+
+func init() {
+	register(KindSlowdown, harness.SlowdownSpec.Jobs)
+	register(KindMulticore, harness.MulticoreSpec.Jobs)
+	register(KindAblation, harness.AblationSpec.Jobs)
+	register(KindCorrection, harness.CorrectionSpec.Jobs)
+	register(KindFaults, harness.FaultSpec.Jobs)
+	register(KindMitigate, harness.MitigateSpec.Jobs)
+	register(KindVirt, harness.VirtSpec.Jobs)
+	register(KindSynthetic, SyntheticSpec.Jobs)
+}
+
+// SyntheticSpec is a fixed-cost calibration campaign: each job sleeps
+// CostMS and returns a seed-derived token. Because the per-job cost is
+// wall-clock rather than CPU, campaign throughput scales with worker
+// processes even on a single-core box — which is exactly what the
+// BENCH_2 scaling benchmarks need to measure (coordinator dispatch and
+// pipeline overlap) without conflating it with core count.
+type SyntheticSpec struct {
+	// Jobs is the number of jobs; 0 selects 16.
+	JobCount int `json:"jobs"`
+	// CostMS is the fixed wall-clock cost per job; 0 selects 10ms.
+	CostMS int `json:"cost_ms"`
+}
+
+// SyntheticResult is one synthetic job's output; Token is a pure
+// function of (campaign seed, job key), so cross-backend determinism
+// tests can pin it.
+type SyntheticResult struct {
+	Index int    `json:"index"`
+	Token uint64 `json:"token"`
+}
+
+// Jobs expands the synthetic campaign.
+func (s SyntheticSpec) Jobs(campaignSeed uint64) ([]harness.Job[SyntheticResult], error) {
+	n := s.JobCount
+	if n <= 0 {
+		n = 16
+	}
+	cost := time.Duration(s.CostMS) * time.Millisecond
+	if cost <= 0 {
+		cost = 10 * time.Millisecond
+	}
+	jobs := make([]harness.Job[SyntheticResult], 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		key := fmt.Sprintf("synthetic/%04d", i)
+		seed := harness.DeriveSeed(campaignSeed, key)
+		jobs = append(jobs, harness.Job[SyntheticResult]{
+			Key: key,
+			Run: func(ctx context.Context) (SyntheticResult, error) {
+				select {
+				case <-time.After(cost):
+				case <-ctx.Done():
+					return SyntheticResult{}, ctx.Err()
+				}
+				rng := stats.NewRNG(seed)
+				return SyntheticResult{Index: i, Token: rng.Uint64()}, nil
+			},
+		})
+	}
+	return jobs, nil
+}

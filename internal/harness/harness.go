@@ -19,9 +19,11 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -44,10 +46,37 @@ type Job[R any] struct {
 	Run func(ctx context.Context) (R, error)
 }
 
+// BackendLocal is the default execution backend: the in-process worker
+// pool. Any other Options.Backend value requires an Executor.
+const BackendLocal = "local"
+
+// Executor runs job attempts somewhere other than this process — the
+// pluggable half of a non-local Options.Backend (internal/dist provides
+// the multi-process and TCP coordinators). Execute runs the job named by
+// key and returns its JSON-encoded result; the returned error is the
+// job's own failure (it burns a retry exactly like a local failure).
+// Infrastructure failures — a crashed worker process, a lost connection,
+// a heartbeat timeout — are the executor's to absorb (respawn, requeue on
+// another worker) and surface only once requeueing is exhausted.
+type Executor interface {
+	Execute(ctx context.Context, key string) (json.RawMessage, error)
+}
+
 // Options configures a campaign run.
 type Options struct {
-	// Workers is the worker-pool size; 0 selects GOMAXPROCS.
+	// Workers is the worker-pool size; 0 selects GOMAXPROCS. With a
+	// non-local Backend it bounds in-flight remote attempts and should
+	// match the executor's worker count.
 	Workers int
+	// Backend names the execution backend: "" or "local" runs jobs on the
+	// in-process pool; any other value requires Executor. The backend is
+	// an execution detail — it is deliberately excluded from Fingerprint,
+	// so journals written under one backend resume under another.
+	Backend string
+	// Executor runs job attempts for a non-local Backend. Results cross a
+	// JSON round-trip, which is byte-exact for the same reason journal
+	// replay is.
+	Executor Executor
 	// Timeout bounds each job attempt's wall-clock time; 0 disables.
 	Timeout time.Duration
 	// Retries is the number of re-attempts after a failed or panicked
@@ -145,12 +174,20 @@ type Metrics struct {
 	Elapsed time.Duration
 }
 
-// JobsPerSec returns the executed-job throughput.
+// JobsPerSec returns the executed-job throughput. Journal-replayed jobs
+// do not count — a resume that restores every job from the checkpoint did
+// no work, so its throughput is 0, not N-jobs-over-epsilon. A degenerate
+// elapsed time (zero, negative, or so small the division explodes)
+// likewise reports 0 instead of an absurd or non-finite rate.
 func (m Metrics) JobsPerSec() float64 {
-	if m.Elapsed <= 0 {
+	if m.Executed <= 0 || m.Elapsed <= 0 {
 		return 0
 	}
-	return float64(m.Executed) / m.Elapsed.Seconds()
+	rate := float64(m.Executed) / m.Elapsed.Seconds()
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return 0
+	}
+	return rate
 }
 
 // Report holds a campaign's outcomes, in job order (deterministic: the
@@ -192,6 +229,14 @@ func (r *Report[R]) Results() ([]R, error) {
 // in the outcomes and in Report.Err.
 func Run[R any](ctx context.Context, jobs []Job[R], opts Options) (*Report[R], error) {
 	start := time.Now()
+	switch {
+	case opts.Backend == "" || opts.Backend == BackendLocal:
+		// The executor belongs to a non-local backend only; ignore it so a
+		// caller flipping Backend back to local really runs locally.
+		opts.Executor = nil
+	case opts.Executor == nil:
+		return nil, fmt.Errorf("harness: backend %q requires an Executor", opts.Backend)
+	}
 	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
 		if j.Key == "" {
@@ -457,6 +502,18 @@ func runAttempt[R any](ctx context.Context, job Job[R], opts Options) (R, error)
 			<-actx.Done()
 			var zero R
 			ch <- attempt{zero, &chaos.Error{Point: chaos.JobHang, Op: "job attempt"}}
+			return
+		}
+		if opts.Executor != nil {
+			var v R
+			raw, err := opts.Executor.Execute(actx, job.Key)
+			if err == nil {
+				err = json.Unmarshal(raw, &v)
+				if err != nil {
+					err = fmt.Errorf("harness: decode remote result for %q: %w", job.Key, err)
+				}
+			}
+			ch <- attempt{v, err}
 			return
 		}
 		v, err := job.Run(actx)

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,12 +140,7 @@ func startReporter(opts Options, total int, c *counters) *reporter {
 				if elapsed > 0 {
 					rate = float64(executed) / elapsed.Seconds()
 				}
-				eta := "?"
-				if remaining := int64(total) - finished; remaining <= 0 {
-					eta = "0s"
-				} else if rate > 0 {
-					eta = (time.Duration(float64(remaining) / rate * float64(time.Second))).Round(time.Second).String()
-				}
+				eta := etaString(int64(total)-finished, rate)
 				fmt.Fprintf(opts.Progress,
 					"harness: %d/%d done (%d from journal), %d failed, %d retried, %.2f jobs/s, ETA %s\n",
 					finished, total, journaled, failed, retried, rate, eta)
@@ -152,6 +148,31 @@ func startReporter(opts Options, total int, c *counters) *reporter {
 		}
 	}()
 	return r
+}
+
+// maxETA caps the ETA the reporter will print: past a year the number is
+// noise, and the float64->Duration conversion below would overflow into a
+// negative duration anyway.
+const maxETA = 365 * 24 * time.Hour
+
+// etaString renders the time left at the current executed-job rate.
+// Replayed jobs are already excluded from rate by the caller, so a
+// resume that restored everything reports "0s" (remaining <= 0) rather
+// than an ETA extrapolated from work it never did. A zero, non-finite, or
+// vanishing rate yields "?" instead of a divide-by-zero Inf or an
+// int64-overflowed negative duration.
+func etaString(remaining int64, rate float64) string {
+	if remaining <= 0 {
+		return "0s"
+	}
+	if math.IsNaN(rate) || rate <= 0 {
+		return "?"
+	}
+	secs := float64(remaining) / rate
+	if math.IsNaN(secs) || secs > maxETA.Seconds() {
+		return "?"
+	}
+	return time.Duration(secs * float64(time.Second)).Round(time.Second).String()
 }
 
 // stop terminates the reporter and waits for its goroutine to exit, so no
